@@ -1,0 +1,312 @@
+package wsndse
+
+// One benchmark per evaluation artifact of the paper (see DESIGN.md §4)
+// plus micro-benchmarks of the hot paths. The experiment benchmarks run
+// reduced-but-representative workloads per iteration and attach the
+// headline quantities as custom metrics, so `go test -bench` both times
+// the harness and regenerates the numbers.
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/core"
+	"wsndse/internal/cs"
+	"wsndse/internal/dse"
+	"wsndse/internal/dwt"
+	"wsndse/internal/ecg"
+	"wsndse/internal/experiments"
+	ieee "wsndse/internal/ieee802154"
+	"wsndse/internal/sim"
+	"wsndse/internal/units"
+)
+
+// BenchmarkModelEvaluation times one full three-metric model evaluation —
+// the paper's "approximately 4800 evaluations per second" (§5.2). The
+// inverse of ns/op is the evaluations-per-second figure.
+func BenchmarkModelEvaluation(b *testing.B) {
+	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+	eval := problem.Evaluator()
+	rng := rand.New(rand.NewSource(1))
+	// A feasible configuration, found once.
+	var cfg dse.Config
+	for {
+		c := problem.Space().Random(rng)
+		if _, err := eval.Evaluate(c); err == nil {
+			cfg = c
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Evaluate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1e9/float64(b.Elapsed().Nanoseconds())*float64(b.N), "evals/s")
+}
+
+// BenchmarkNetworkSimulation times the comparator: one 60-second
+// packet-level simulation of the six-node case-study network (the paper's
+// Castalia runs took 5–10 minutes each).
+func BenchmarkNetworkSimulation(b *testing.B) {
+	params := defaultBenchParams()
+	cfg, err := params.SimConfig(casestudy.DefaultCalibration(), 60, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3EnergyModel regenerates Figure 3 (energy estimation
+// accuracy over the f_µC × CR grid) and reports the error statistics.
+func BenchmarkFig3EnergyModel(b *testing.B) {
+	var res *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig3(experiments.Fig3Config{SimDuration: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := res.Check(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MaxErr, "maxerr%")
+	b.ReportMetric(res.AvgErrDWT, "dwterr%")
+	b.ReportMetric(res.AvgErrCS, "cserr%")
+}
+
+// BenchmarkFig4PRDEstimation regenerates Figure 4 (polynomial PRD
+// estimator vs the shipped codec measurements).
+func BenchmarkFig4PRDEstimation(b *testing.B) {
+	var res *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig4(experiments.Fig4Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := res.Check(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.AvgErrDWT, "dwterr_prd")
+	b.ReportMetric(res.AvgErrCS, "cserr_prd")
+}
+
+// BenchmarkFig4Calibration times the measured side of Figure 4: running
+// both codecs (compression + reconstruction) over the ECG corpus at all
+// eight rates.
+func BenchmarkFig4Calibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := casestudy.Calibrate(casestudy.CalibrationConfig{Blocks: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDelayValidation runs a scaled version of the §5.1 experiment
+// (the full 130 configurations regenerate via `wsn-experiments -run
+// delay`) and reports the overestimation statistics.
+func BenchmarkDelayValidation(b *testing.B) {
+	var res *experiments.DelayValResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.DelayVal(experiments.DelayValConfig{Runs: 20, SimDuration: 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := res.Check(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.MeanOver)*1e3, "meanover_ms")
+	b.ReportMetric(float64(res.Violations), "violations")
+}
+
+// BenchmarkFig5DSE regenerates Figure 5 at a reduced search budget and
+// reports the baseline's share of the full tradeoff set (paper: ≈7 %).
+func BenchmarkFig5DSE(b *testing.B) {
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig5(experiments.Fig5Config{PopulationSize: 48, Generations: 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := res.Check(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.SizeRatio*100, "baseline_tradeoffs%")
+	b.ReportMetric(float64(len(res.FullFront)), "front_points")
+}
+
+// ---- micro-benchmarks of the hot paths ----
+
+func benchECGBlock(b *testing.B) []float64 {
+	b.Helper()
+	g, err := ecg.NewGenerator(ecg.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Generate(512)
+}
+
+// BenchmarkDWTCompress times one 512-sample block through the wavelet
+// codec at CR = 0.23.
+func BenchmarkDWTCompress(b *testing.B) {
+	block := benchECGBlock(b)
+	codec := dwt.NewCodec(dwt.Daubechies4(), 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Compress(block, 0.23, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSDecodeOMP times compressed-sensing reconstruction (the
+// coordinator-side cost) with the greedy solver.
+func BenchmarkCSDecodeOMP(b *testing.B) {
+	benchCSDecode(b, cs.AlgorithmOMP)
+}
+
+// BenchmarkCSDecodeBPDN times the ℓ1 solver.
+func BenchmarkCSDecodeBPDN(b *testing.B) {
+	benchCSDecode(b, cs.AlgorithmBPDN)
+}
+
+func benchCSDecode(b *testing.B, algo cs.Algorithm) {
+	block := benchECGBlock(b)
+	codec := cs.NewCodec(512, dwt.Daubechies4(), 5, 1)
+	codec.Algorithm = algo
+	z, err := codec.Compress(block, 0.23, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := codec.Decompress(z.Payload); err != nil { // warm the dictionary cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decompress(z.Payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssign times the Eq. 1–2 transmission-interval assignment.
+func BenchmarkAssign(b *testing.B) {
+	mac, err := core.NewGTSMac(ieee.SuperframeConfig{BeaconOrder: 3, SuperframeOrder: 2}, 48, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phi := []units.BytesPerSecond{64, 86, 64, 120, 86, 143}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Assign(mac, phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventEngine times raw scheduler throughput: schedule-and-run
+// chains of dependent events.
+func BenchmarkEventEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		count := 0
+		var tick func()
+		tick = func() {
+			count++
+			if count < 1000 {
+				e.After(0.001, tick)
+			}
+		}
+		e.After(0.001, tick)
+		e.Run(10)
+		if count != 1000 {
+			b.Fatal("engine lost events")
+		}
+	}
+}
+
+// BenchmarkNSGA2Generation times the genetic algorithm on the case study
+// at one-generation granularity (population 32).
+func BenchmarkNSGA2Generation(b *testing.B) {
+	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.NSGA2(problem.Space(), problem.Evaluator(), dse.NSGA2Config{
+			PopulationSize: 32,
+			Generations:    1,
+			Seed:           int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func defaultBenchParams() casestudy.Params {
+	n := casestudy.DefaultNodes
+	p := casestudy.Params{
+		BeaconOrder:     3,
+		SuperframeOrder: 2,
+		PayloadBytes:    48,
+		CR:              make([]float64, n),
+		MicroFreq:       make([]units.Hertz, n),
+	}
+	for i := 0; i < n; i++ {
+		p.CR[i] = 0.23
+		p.MicroFreq[i] = 8e6
+	}
+	return p
+}
+
+// BenchmarkAblationTheta regenerates the Eq. 8 balance-weight ablation and
+// reports the front imbalance at the extreme settings.
+func BenchmarkAblationTheta(b *testing.B) {
+	var res *experiments.ThetaAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.ThetaAblation(experiments.ThetaAblationConfig{
+			PopulationSize: 32, Generations: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := res.Check(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Rows[0].MeanImbalance*100, "imbalance_theta0%")
+	b.ReportMetric(res.Rows[len(res.Rows)-1].MeanImbalance*100, "imbalance_thetamax%")
+}
+
+// BenchmarkAblationArrival regenerates the uniform-vs-block arrival
+// ablation behind Eq. 9's validity.
+func BenchmarkAblationArrival(b *testing.B) {
+	var res *experiments.ArrivalAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.ArrivalAblation(experiments.ArrivalAblationConfig{
+			Runs: 10, SimDuration: 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := res.Check(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.UniformViolations), "uniform_violations")
+	b.ReportMetric(float64(res.BlockViolations), "block_violations")
+}

@@ -1,0 +1,146 @@
+// Command wsn-experiments regenerates the paper's evaluation artifacts:
+// Figure 3 (energy estimation accuracy), Figure 4 (PRD estimation
+// accuracy), the Eq. 9 delay validation, the evaluation-speed comparison,
+// Figure 5 (tradeoff detection vs the energy/delay baseline), and the
+// calibration that produces the shipped quality polynomials.
+//
+// Example:
+//
+//	wsn-experiments -run all
+//	wsn-experiments -run fig3,fig5
+//	wsn-experiments -run delay -delay-runs 130
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/experiments"
+	"wsndse/internal/units"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "experiments: all | comma list of fig3,fig4,delay,speed,fig5,calibrate")
+		delayRuns = flag.Int("delay-runs", 130, "configurations for the delay validation (paper: 130)")
+		simDur    = flag.Float64("sim-duration", 30, "simulated seconds per delay-validation run")
+		pop       = flag.Int("pop", 96, "NSGA-II population for fig5")
+		gen       = flag.Int("gen", 60, "NSGA-II generations for fig5")
+		check     = flag.Bool("check", true, "verify each experiment's headline claims")
+		csvDir    = flag.String("csvdir", "", "also write <experiment>.csv files into this directory")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *run == "all" {
+		for _, name := range []string{"fig3", "fig4", "delay", "speed", "fig5", "ablation"} {
+			selected[name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+
+	type checker interface {
+		Render(w io.Writer)
+		Check() error
+	}
+	writeCSV := func(name string, r interface{ WriteCSV(io.Writer) error }) {
+		if *csvDir == "" {
+			return
+		}
+		path := *csvDir + "/" + name + ".csv"
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsn-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := r.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wsn-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s.csv written]\n", name)
+	}
+	finish := func(name string, r checker, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsn-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		r.Render(os.Stdout)
+		if *check {
+			if err := r.Check(); err != nil {
+				fmt.Fprintf(os.Stderr, "wsn-experiments: %s check FAILED: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s checks passed]\n", name)
+		}
+		fmt.Println()
+	}
+
+	if selected["calibrate"] {
+		cal, err := casestudy.Calibrate(casestudy.CalibrationConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsn-experiments: calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("calibration (paste into casestudy.DefaultCalibration when regenerating):")
+		fmt.Printf("CRs:         %v\n", cal.CRs)
+		fmt.Printf("DWTMeasured: %.4f\n", cal.DWTMeasured)
+		fmt.Printf("CSMeasured:  %.4f\n", cal.CSMeasured)
+		fmt.Printf("DWTPoly:     %v\n", []float64(cal.DWTPoly))
+		fmt.Printf("CSPoly:      %v\n", []float64(cal.CSPoly))
+		de, ce := cal.EstimationErrors()
+		fmt.Printf("mean abs err: DWT %.3f, CS %.3f PRD points\n\n", de, ce)
+	}
+	if selected["fig3"] {
+		res, err := experiments.Fig3(experiments.Fig3Config{})
+		if err == nil {
+			writeCSV("fig3", res)
+		}
+		finish("fig3", res, err)
+	}
+	if selected["fig4"] {
+		res, err := experiments.Fig4(experiments.Fig4Config{})
+		if err == nil {
+			writeCSV("fig4", res)
+		}
+		finish("fig4", res, err)
+	}
+	if selected["delay"] {
+		res, err := experiments.DelayVal(experiments.DelayValConfig{
+			Runs:        *delayRuns,
+			SimDuration: units.Seconds(*simDur),
+		})
+		if err == nil {
+			writeCSV("delay", res)
+		}
+		finish("delay", res, err)
+	}
+	if selected["speed"] {
+		res, err := experiments.Speed(experiments.SpeedConfig{})
+		finish("speed", res, err)
+	}
+	if selected["fig5"] {
+		res, err := experiments.Fig5(experiments.Fig5Config{
+			PopulationSize: *pop,
+			Generations:    *gen,
+			RunMOSA:        true,
+		})
+		if err == nil {
+			writeCSV("fig5", res)
+		}
+		finish("fig5", res, err)
+	}
+	if selected["ablation"] {
+		theta, err := experiments.ThetaAblation(experiments.ThetaAblationConfig{})
+		finish("ablation-theta", theta, err)
+		arrival, err := experiments.ArrivalAblation(experiments.ArrivalAblationConfig{})
+		finish("ablation-arrival", arrival, err)
+	}
+}

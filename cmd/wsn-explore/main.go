@@ -1,0 +1,143 @@
+// Command wsn-explore runs a multi-objective design-space exploration of
+// the case study with the analytical model — the paper's end-to-end use
+// case. It supports the full three-metric model or the energy/delay-only
+// baseline, with NSGA-II, simulated annealing or random search.
+//
+// Example:
+//
+//	wsn-explore -algo nsga2 -pop 96 -gen 60
+//	wsn-explore -objectives baseline -algo mosa -iters 6000
+//	wsn-explore -csv front.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"wsndse/internal/baseline"
+	"wsndse/internal/casestudy"
+	"wsndse/internal/dse"
+)
+
+func main() {
+	var (
+		algo       = flag.String("algo", "nsga2", "search algorithm: nsga2 | mosa | random")
+		objectives = flag.String("objectives", "full", "evaluator: full (energy, PRD, delay) | baseline (energy, delay)")
+		pop        = flag.Int("pop", 96, "NSGA-II population size")
+		gen        = flag.Int("gen", 60, "NSGA-II generations")
+		iters      = flag.Int("iters", 6000, "MOSA iterations / random-search budget")
+		seed       = flag.Int64("seed", 17, "search seed")
+		csvPath    = flag.String("csv", "", "write the front to this CSV file")
+	)
+	flag.Parse()
+
+	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+	var eval dse.Evaluator
+	switch *objectives {
+	case "full":
+		eval = problem.Evaluator()
+	case "baseline":
+		eval = baseline.New(problem)
+	default:
+		fail(fmt.Errorf("unknown objectives %q", *objectives))
+	}
+
+	fmt.Printf("design space: %.3g configurations, %d objectives, algorithm %s\n",
+		problem.Space().Size(), eval.NumObjectives(), *algo)
+
+	var res *dse.Result
+	var err error
+	switch *algo {
+	case "nsga2":
+		res, err = dse.NSGA2(problem.Space(), eval, dse.NSGA2Config{
+			PopulationSize: *pop, Generations: *gen, Seed: *seed,
+		})
+	case "mosa":
+		res, err = dse.MOSA(problem.Space(), eval, dse.MOSAConfig{
+			Iterations: *iters, Seed: *seed,
+		})
+	case "random":
+		res, err = dse.RandomSearch(problem.Space(), eval, *iters, *seed)
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("evaluated %d distinct configurations (%d infeasible)\n", res.Evaluated, res.Infeasible)
+	fmt.Printf("Pareto front: %d points\n\n", len(res.Front))
+	header := []string{"energy_mW", "delay_ms"}
+	if eval.NumObjectives() == 3 {
+		header = []string{"energy_mW", "prd_pct", "delay_ms"}
+	}
+	fmt.Printf("%-12s %-10s %-10s  configuration\n", header[0], header[min(1, len(header)-1)],
+		header[len(header)-1])
+	for _, p := range res.Front {
+		params, err := problem.Decode(p.Config)
+		if err != nil {
+			fail(err)
+		}
+		switch eval.NumObjectives() {
+		case 3:
+			fmt.Printf("%-12.4f %-10.2f %-10.1f  BO=%d SO=%d L=%d CR=%v\n",
+				p.Objs[0]*1e3, p.Objs[1], p.Objs[2]*1e3,
+				params.BeaconOrder, params.SuperframeOrder, params.PayloadBytes, params.CR)
+		default:
+			fmt.Printf("%-12.4f %-10.1f %-10s  BO=%d SO=%d L=%d CR=%v\n",
+				p.Objs[0]*1e3, p.Objs[1]*1e3, "",
+				params.BeaconOrder, params.SuperframeOrder, params.PayloadBytes, params.CR)
+		}
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res.Front, eval.NumObjectives()); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nfront written to %s\n", *csvPath)
+	}
+}
+
+func writeCSV(path string, front []dse.Point, objectives int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	header := []string{"energy_W", "delay_s"}
+	if objectives == 3 {
+		header = []string{"energy_W", "prd_pct", "delay_s"}
+	}
+	header = append(header, "config")
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, p := range front {
+		row := make([]string, 0, len(p.Objs)+1)
+		for _, o := range p.Objs {
+			row = append(row, strconv.FormatFloat(o, 'g', 8, 64))
+		}
+		row = append(row, fmt.Sprint(p.Config))
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return w.Error()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wsn-explore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command wsn-sim runs the packet-level simulator on one case-study
+// configuration and reports measured per-node energy, delays and traffic —
+// the "ground truth" side of the model-accuracy comparisons.
+//
+// Example:
+//
+//	wsn-sim -bo 3 -so 2 -payload 48 -cr 0.23 -fuc 8M -duration 60
+//	wsn-sim -cr 0.29 -fuc 8M -arrival block -per 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/cliutil"
+	"wsndse/internal/sim"
+	"wsndse/internal/units"
+)
+
+func main() {
+	var (
+		bo       = flag.Int("bo", 3, "beacon order (BCO)")
+		so       = flag.Int("so", 2, "superframe order (SFO)")
+		payload  = flag.Int("payload", 48, "MAC payload per frame, bytes")
+		nodes    = flag.Int("nodes", casestudy.DefaultNodes, "number of nodes (first half DWT, rest CS)")
+		cr       = flag.String("cr", "0.23", "compression ratio: one value or per-node comma list")
+		fuc      = flag.String("fuc", "8M", "µC frequency: one value or per-node comma list")
+		duration = flag.Float64("duration", 60, "simulated seconds")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		arrival  = flag.String("arrival", "uniform", "traffic model: uniform | block")
+		per      = flag.Float64("per", 0, "packet error rate in [0,1)")
+	)
+	flag.Parse()
+
+	params, err := cliutil.BuildParams(*bo, *so, *payload, *nodes, *cr, *fuc)
+	if err != nil {
+		fail(err)
+	}
+	cfg, err := params.SimConfig(casestudy.DefaultCalibration(), units.Seconds(*duration), *seed)
+	if err != nil {
+		fail(err)
+	}
+	cfg.PacketErrorRate = *per
+	switch *arrival {
+	case "uniform":
+		cfg.Arrival = sim.ArrivalUniform
+	case "block":
+		cfg.Arrival = sim.ArrivalBlock
+	default:
+		fail(fmt.Errorf("unknown arrival model %q", *arrival))
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("simulated %v: %d beacons, stable=%v, arrival=%v, PER=%g\n",
+		res.Duration, res.BeaconsSent, res.Stable, cfg.Arrival, *per)
+	fmt.Printf("%-8s %10s %9s %9s %9s %10s %7s %7s %9s %9s\n",
+		"node", "total", "sensor", "µC", "radio", "delivered", "pkts", "retry", "delay avg", "delay max")
+	for _, n := range res.Nodes {
+		fmt.Printf("%-8s %10v %9v %9v %9v %9dB %7d %7d %9v %9v\n",
+			n.Name, n.Power.Total, n.Power.Sensor, n.Power.Micro, n.Power.Radio,
+			n.BytesDelivered, n.PacketsSent, n.Retries, n.Delay.Mean, n.Delay.Max)
+	}
+	fmt.Printf("\nradio residency of %s: ", res.Nodes[0].Name)
+	for _, st := range []sim.RadioState{sim.StateSleep, sim.StateIdle, sim.StateRamp, sim.StateRx, sim.StateTx} {
+		fmt.Printf("%v=%.2f%% ", st, float64(res.Nodes[0].RadioStateTime[st])/float64(res.Duration)*100)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wsn-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Package wsndse reproduces "Design Exploration of Energy-Performance
+// Trade-Offs for Wireless Sensor Networks" (Beretta, Rincón, Khaled,
+// Grassi, Rana, Atienza — DAC 2012): a system-level analytical model of
+// wireless body sensor networks fast and accurate enough to drive
+// multi-objective design-space exploration, validated against a
+// packet-level IEEE 802.15.4 simulator and real compression codecs.
+//
+// The library layers, bottom to top:
+//
+//   - internal/units, internal/numeric, internal/bitpack — typed physical
+//     quantities, polynomial fitting and statistics, bit packing;
+//   - internal/ecg, internal/quality — synthetic ECG generation, the ADC
+//     front end, and signal-fidelity metrics (PRD);
+//   - internal/dwt, internal/cs — the two ECG compressors of the case
+//     study, implemented end to end (wavelet thresholding codec and a
+//     compressed-sensing codec with OMP/BPDN reconstruction);
+//   - internal/ieee802154, internal/radio, internal/platform — the
+//     beacon-enabled MAC geometry, a CC2420-class transceiver model, and
+//     the Shimmer-class node hardware characterization;
+//   - internal/app — the paper's application triple h/k/e;
+//   - internal/core — the paper's contribution: the abstract MAC model,
+//     the Eq. 1–2 assignment, the Eq. 3–7 node energy model, the Eq. 9
+//     delay bound, and the Eq. 8 network metrics;
+//   - internal/sim — a discrete-event, packet-level simulator with
+//     device-level energy accounting (the measurement/Castalia stand-in);
+//   - internal/dse, internal/baseline, internal/casestudy,
+//     internal/experiments — the exploration framework, the energy/delay
+//     comparator, the §4 case study, and one harness per figure/table.
+//
+// The benchmarks in bench_test.go regenerate every evaluation artifact;
+// cmd/wsn-experiments prints them as tables.
+package wsndse

@@ -1,0 +1,128 @@
+// Custommac: the generality claim of §3.2 — plug a protocol that is not
+// IEEE 802.15.4 into the abstract MAC model and evaluate the same nodes
+// under it. The custom protocol is a minimal polling TDMA: the coordinator
+// polls each node once per epoch; there are no beacons, acknowledgements
+// or superframe structure, just a poll message down and a data burst up.
+//
+//	go run ./examples/custommac
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsndse/internal/app"
+	"wsndse/internal/casestudy"
+	"wsndse/internal/core"
+	ieee "wsndse/internal/ieee802154"
+	"wsndse/internal/platform"
+	"wsndse/internal/units"
+)
+
+// pollMAC is a toy contention-free protocol: an epoch of fixed length is
+// divided into per-node polling turns quantized to 1 ms. Each turn starts
+// with an 8-byte poll from the coordinator; the node answers with its
+// data framed at 2 bytes of overhead per 64-byte frame.
+type pollMAC struct {
+	Epoch units.Seconds // polling cycle length
+}
+
+const (
+	pollBytes     = 8
+	frameOverhead = 2
+	framePayload  = 64
+	quantum       = 1e-3 // 1 ms scheduling grain
+)
+
+func (m *pollMAC) Name() string { return "poll-tdma" }
+
+// DataOverhead: 2 bytes per 64-byte frame.
+func (m *pollMAC) DataOverhead(phi units.BytesPerSecond) units.BytesPerSecond {
+	return units.BytesPerSecond(float64(phi) * frameOverhead / framePayload)
+}
+
+// ControlDown: one poll per node per epoch.
+func (m *pollMAC) ControlDown(units.BytesPerSecond) units.BytesPerSecond {
+	return units.BytesPerSecond(pollBytes / float64(m.Epoch))
+}
+
+// ControlUp: none.
+func (m *pollMAC) ControlUp(units.BytesPerSecond) units.BytesPerSecond { return 0 }
+
+// AirOverheadUp/Down: reuse the 802.15.4 PHY encapsulation (same radio).
+func (m *pollMAC) AirOverheadUp(phi units.BytesPerSecond) units.BytesPerSecond {
+	frames := float64(phi) / framePayload
+	return units.BytesPerSecond(frames * ieee.PHYOverheadBytes)
+}
+
+func (m *pollMAC) AirOverheadDown(units.BytesPerSecond) units.BytesPerSecond {
+	return units.BytesPerSecond(ieee.PHYOverheadBytes / float64(m.Epoch))
+}
+
+// ControlTime: polls occupy the channel.
+func (m *pollMAC) ControlTime() float64 {
+	return float64(ieee.AirTime(pollBytes+ieee.PHYOverheadBytes)) / float64(m.Epoch)
+}
+
+// Quantum: 1 ms per epoch, per-second normalized.
+func (m *pollMAC) Quantum() float64 { return quantum / float64(m.Epoch) }
+
+// Capacity: everything except the polls.
+func (m *pollMAC) Capacity() float64 { return 1 - m.ControlTime() }
+
+// TxTime: on-air time of data plus framing plus PHY encapsulation.
+func (m *pollMAC) TxTime(phi units.BytesPerSecond) float64 {
+	if phi == 0 {
+		return 0
+	}
+	frames := float64(phi) / framePayload
+	bytes := float64(phi) + float64(m.DataOverhead(phi)) + frames*ieee.PHYOverheadBytes
+	return float64(ieee.AirTime(bytes))
+}
+
+// WorstCaseDelay: data waits one full epoch in the worst case.
+func (m *pollMAC) WorstCaseDelay(deltaTx []float64, n int) units.Seconds {
+	return m.Epoch
+}
+
+func main() {
+	cal := casestudy.DefaultCalibration()
+
+	// Six nodes identical to the case study's.
+	var nodes []*core.Node
+	kinds := casestudy.DefaultKinds(6)
+	for i, kind := range kinds {
+		profile, poly := app.DWTProfile(), cal.DWTPoly
+		if kind == casestudy.KindCS {
+			profile, poly = app.CSProfile(), cal.CSPoly
+		}
+		a, err := app.NewCompression(profile, 0.23, poly)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, &core.Node{
+			Name:       fmt.Sprintf("%s-%d", kind, i),
+			Platform:   platform.Shimmer(),
+			App:        a,
+			SampleFreq: casestudy.SampleRate,
+			MicroFreq:  8e6,
+		})
+	}
+
+	// Evaluate the same network under both MACs.
+	gts, err := core.NewGTSMac(ieee.SuperframeConfig{BeaconOrder: 3, SuperframeOrder: 2}, 48, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mac := range []core.MAC{gts, &pollMAC{Epoch: 0.25}} {
+		net := &core.Network{Nodes: nodes, MAC: mac, Theta: 0.5}
+		ev, err := net.Evaluate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s energy %v, PRD %.1f%%, delay %v, Σ Δtx %.4f s/s\n",
+			mac.Name()+":", ev.Energy, ev.Quality, ev.Delay, ev.Assignment.Used)
+	}
+	fmt.Println("\nthe node model (Eqs. 3–7) is untouched — only the MAC abstraction")
+	fmt.Println("(Ω, Ψ, Δcontrol, δ) changed, which is the paper's reusability claim.")
+}

@@ -1,0 +1,125 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"wsndse/internal/numeric"
+	"wsndse/internal/units"
+)
+
+var testPoly = numeric.Poly{40, -100, 80} // arbitrary decreasing-ish P₂(CR)
+
+func TestNewCompressionValidation(t *testing.T) {
+	if _, err := NewCompression(DWTProfile(), 0, testPoly); err == nil {
+		t.Error("cr=0: want error")
+	}
+	if _, err := NewCompression(DWTProfile(), 1.2, testPoly); err == nil {
+		t.Error("cr>1: want error")
+	}
+	if _, err := NewCompression(DWTProfile(), 0.3, nil); err == nil {
+		t.Error("missing quality poly: want error")
+	}
+	bad := DWTProfile()
+	bad.CyclesPerSecond = 0
+	if _, err := NewCompression(bad, 0.3, testPoly); err == nil {
+		t.Error("zero cycle budget: want error")
+	}
+	if _, err := NewCompression(CSProfile(), 0.3, testPoly); err != nil {
+		t.Errorf("valid CS app rejected: %v", err)
+	}
+}
+
+func TestOutputRateIsLinearInCR(t *testing.T) {
+	// The paper's h: φ_out = φ_in · CR for both codecs.
+	for _, cr := range []float64{0.17, 0.23, 0.38} {
+		a, err := NewCompression(DWTProfile(), cr, testPoly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := float64(a.OutputRate(375)), 375*cr; math.Abs(got-want) > 1e-12 {
+			t.Errorf("cr=%g: OutputRate = %g, want %g", cr, got, want)
+		}
+	}
+}
+
+func TestDutyCycleMatchesPaper(t *testing.T) {
+	// k_DWT = 2265.6/f[kHz]: duty 2.2656 at 1 MHz (infeasible) and
+	// 0.2832 at 8 MHz. k_CS = 388.8/f[kHz]: 0.3888 and 0.0486.
+	dwt, _ := NewCompression(DWTProfile(), 0.23, testPoly)
+	cs, _ := NewCompression(CSProfile(), 0.23, testPoly)
+	cases := []struct {
+		app  *Compression
+		f    units.Hertz
+		want float64
+	}{
+		{dwt, 1e6, 2.2656},
+		{dwt, 8e6, 0.2832},
+		{cs, 1e6, 0.3888},
+		{cs, 8e6, 0.0486},
+	}
+	for _, c := range cases {
+		got := c.app.Usage(375, c.f).Duty
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s at %v Hz: duty = %g, want %g", c.app.Name(), c.f, got, c.want)
+		}
+	}
+	// DWT at 1 MHz is the paper's infeasible configuration.
+	if d := dwt.Usage(375, 1e6).Duty; d <= 1 {
+		t.Errorf("DWT duty at 1 MHz = %g, expected > 1 (infeasible)", d)
+	}
+}
+
+func TestUsageIndependentOfCR(t *testing.T) {
+	// The model deliberately neglects the CR dependence of the duty
+	// cycle (§4.3).
+	lo, _ := NewCompression(DWTProfile(), 0.17, testPoly)
+	hi, _ := NewCompression(DWTProfile(), 0.38, testPoly)
+	if lo.Usage(375, 8e6) != hi.Usage(375, 8e6) {
+		t.Error("model-side usage must not depend on CR")
+	}
+	// But the device-level cycle count does, slightly.
+	if lo.RealCyclesPerSecond() >= hi.RealCyclesPerSecond() {
+		t.Error("real cycle count should grow with CR (more coefficients to pack)")
+	}
+	rel := math.Abs(lo.RealCyclesPerSecond()-hi.RealCyclesPerSecond()) / lo.Profile.CyclesPerSecond
+	if rel > 0.10 {
+		t.Errorf("CR sensitivity %.1f%% too large for a 'marginal' dependency", rel*100)
+	}
+}
+
+func TestQualityUsesPolynomial(t *testing.T) {
+	a, _ := NewCompression(CSProfile(), 0.3, testPoly)
+	want := testPoly.Eval(0.3)
+	if got := a.Quality(375); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Quality = %g, want %g", got, want)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	d, c := DWTProfile(), CSProfile()
+	if d.Name != "dwt" || c.Name != "cs" {
+		t.Error("profile names")
+	}
+	// The paper's central asymmetry: DWT costs ~5.8× the cycles of CS.
+	ratio := d.CyclesPerSecond / c.CyclesPerSecond
+	if math.Abs(ratio-2265.6/388.8) > 1e-9 {
+		t.Errorf("cycle ratio = %g, want %g", ratio, 2265.6/388.8)
+	}
+}
+
+func TestPassthrough(t *testing.T) {
+	var p Passthrough
+	if p.Name() != "passthrough" {
+		t.Error("name")
+	}
+	if p.OutputRate(375) != 375 {
+		t.Error("passthrough must not change the rate")
+	}
+	if p.Quality(375) != 0 {
+		t.Error("passthrough is lossless")
+	}
+	if u := p.Usage(375, 1e6); u.Duty != 0 {
+		t.Error("passthrough costs no cycles")
+	}
+}

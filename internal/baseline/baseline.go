@@ -1,0 +1,65 @@
+// Package baseline reimplements the comparator of the paper's Figure 5: a
+// state-of-the-art energy/delay model in the spirit of Kumar et al. [26]
+// ("End-to-End Energy Management in Networked Real-Time Embedded
+// Systems").
+//
+// The baseline sees the same design space and computes the same energy and
+// delay the proposed model does — it is not a strawman — but it is
+// application-blind: compression appears only through its effect on the
+// transmitted data rate, and no quality metric exists. A DSE driven by it
+// therefore optimizes over two objectives and recovers only the
+// energy/delay silhouette of the true three-dimensional tradeoff surface;
+// the paper reports it finds only ≈7 % of the full model's Pareto points.
+package baseline
+
+import (
+	"wsndse/internal/casestudy"
+	"wsndse/internal/dse"
+)
+
+// Evaluator is the 2-objective (energy, delay) evaluator over the case
+// study's design space.
+type Evaluator struct {
+	p *casestudy.Problem
+}
+
+// New wraps a case-study problem with the energy/delay-only view.
+func New(p *casestudy.Problem) *Evaluator {
+	return &Evaluator{p: p}
+}
+
+// NumObjectives returns 2.
+func (e *Evaluator) NumObjectives() int { return 2 }
+
+// Evaluate computes (E_net, delay_net), discarding application quality.
+func (e *Evaluator) Evaluate(c dse.Config) (dse.Objectives, error) {
+	params, err := e.p.Decode(c)
+	if err != nil {
+		return nil, err
+	}
+	net, err := params.Network(e.p.Cal, e.p.Theta)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := net.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	return dse.Objectives{float64(ev.Energy), float64(ev.Delay)}, nil
+}
+
+// Lift re-evaluates a 2-objective front under the full 3-metric model so
+// it can be compared against the proposed model's front in the common
+// objective space (this is how Fig. 5 plots both sets on the same axes).
+func Lift(p *casestudy.Problem, front []dse.Point) ([]dse.Point, error) {
+	full := p.Evaluator()
+	out := make([]dse.Point, 0, len(front))
+	for _, pt := range front {
+		objs, err := full.Evaluate(pt.Config)
+		if err != nil {
+			continue // a config feasible for 2 objectives is feasible for 3; be safe anyway
+		}
+		out = append(out, dse.Point{Config: pt.Config, Objs: objs, Feasible: true})
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+// Package bitpack provides MSB-first fixed-width bit packing, shared by the
+// codec packages to serialize quantized coefficients and measurements.
+package bitpack
+
+import "fmt"
+
+// Writer packs fixed-width codes MSB-first into a pre-sized byte slice.
+// The zero Writer writes at bit position 0 of Buf.
+type Writer struct {
+	Buf []byte
+	pos int // bit position
+}
+
+// Write appends the low `bits` bits of v. It panics when the buffer is too
+// small, which is always a sizing bug at the call site.
+func (w *Writer) Write(v uint32, bits int) {
+	if w.pos+bits > len(w.Buf)*8 {
+		panic(fmt.Sprintf("bitpack: write of %d bits at position %d overflows %d-byte buffer",
+			bits, w.pos, len(w.Buf)))
+	}
+	for b := bits - 1; b >= 0; b-- {
+		if v&(1<<b) != 0 {
+			w.Buf[w.pos/8] |= 1 << (7 - w.pos%8)
+		}
+		w.pos++
+	}
+}
+
+// Bits returns the number of bits written so far.
+func (w *Writer) Bits() int { return w.pos }
+
+// Reader is the matching MSB-first reader.
+type Reader struct {
+	Buf []byte
+	pos int
+}
+
+// Read extracts the next `bits` bits. Unlike Write, exhaustion is a data
+// error (truncated payload), so it is returned rather than panicking.
+func (r *Reader) Read(bits int) (uint32, error) {
+	if r.pos+bits > len(r.Buf)*8 {
+		return 0, fmt.Errorf("bitpack: stream exhausted at bit %d reading %d bits of %d available",
+			r.pos, bits, len(r.Buf)*8)
+	}
+	var v uint32
+	for b := 0; b < bits; b++ {
+		v <<= 1
+		if r.Buf[r.pos/8]&(1<<(7-r.pos%8)) != 0 {
+			v |= 1
+		}
+		r.pos++
+	}
+	return v, nil
+}
+
+// SignExtend interprets the low `bits` bits of raw as a two's-complement
+// integer.
+func SignExtend(raw uint32, bits int) int32 {
+	v := int32(raw << (32 - bits))
+	return v >> (32 - bits)
+}

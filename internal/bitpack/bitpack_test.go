@@ -1,0 +1,100 @@
+package bitpack
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	buf := make([]byte, 6)
+	w := Writer{Buf: buf}
+	vals := []uint32{0x5A3, 0x001, 0xFFF, 0x800}
+	for _, v := range vals {
+		w.Write(v, 12)
+	}
+	if w.Bits() != 48 {
+		t.Errorf("Bits = %d, want 48", w.Bits())
+	}
+	r := Reader{Buf: buf}
+	for i, want := range vals {
+		got, err := r.Read(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want&0xFFF {
+			t.Errorf("value %d: got %03x, want %03x", i, got, want)
+		}
+	}
+	if _, err := r.Read(1); err == nil {
+		t.Error("reading past the end should fail")
+	}
+}
+
+func TestWriteOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow write should panic")
+		}
+	}()
+	w := Writer{Buf: make([]byte, 1)}
+	w.Write(0, 9)
+}
+
+func TestMixedWidthsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := 1 + rng.Intn(50)
+		widths := make([]int, count)
+		vals := make([]uint32, count)
+		total := 0
+		for i := range widths {
+			widths[i] = 1 + rng.Intn(16)
+			vals[i] = rng.Uint32() & (1<<widths[i] - 1)
+			total += widths[i]
+		}
+		buf := make([]byte, (total+7)/8)
+		w := Writer{Buf: buf}
+		for i := range vals {
+			w.Write(vals[i], widths[i])
+		}
+		r := Reader{Buf: buf}
+		for i := range vals {
+			got, err := r.Read(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		raw  uint32
+		bits int
+		want int32
+	}{
+		{0xFFF, 12, -1},
+		{0x800, 12, -2048},
+		{0x7FF, 12, 2047},
+		{0x0, 12, 0},
+		{0x3, 2, -1},
+		{0x1, 2, 1},
+	}
+	for _, c := range cases {
+		if got := SignExtend(c.raw, c.bits); got != c.want {
+			t.Errorf("SignExtend(%#x, %d) = %d, want %d", c.raw, c.bits, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package cliutil holds the small parsing and formatting helpers shared by
+// the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/units"
+)
+
+// ParseFloats parses a comma-separated list of floats ("0.23,0.29,0.17").
+func ParseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseHertz parses a comma-separated list of frequencies with optional
+// k/M suffixes ("1M,8M" or "250").
+func ParseHertz(s string) ([]units.Hertz, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]units.Hertz, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		mult := 1.0
+		switch {
+		case strings.HasSuffix(p, "M"), strings.HasSuffix(p, "m"):
+			mult, p = 1e6, p[:len(p)-1]
+		case strings.HasSuffix(p, "k"), strings.HasSuffix(p, "K"):
+			mult, p = 1e3, p[:len(p)-1]
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad frequency %q: %w", p, err)
+		}
+		out = append(out, units.Hertz(v*mult))
+	}
+	return out, nil
+}
+
+// BuildParams assembles case-study parameters from the common command-line
+// flags, replicating single values across all nodes.
+func BuildParams(bo, so, payload, nodes int, crList, fucList string) (casestudy.Params, error) {
+	var p casestudy.Params
+	crs, err := ParseFloats(crList)
+	if err != nil {
+		return p, fmt.Errorf("-cr: %w", err)
+	}
+	fucs, err := ParseHertz(fucList)
+	if err != nil {
+		return p, fmt.Errorf("-fuc: %w", err)
+	}
+	if len(crs) == 1 {
+		crs = repeatF(crs[0], nodes)
+	}
+	if len(fucs) == 1 {
+		fucs = repeatH(fucs[0], nodes)
+	}
+	if len(crs) != nodes || len(fucs) != nodes {
+		return p, fmt.Errorf("need 1 or %d values per node (got %d CRs, %d frequencies)",
+			nodes, len(crs), len(fucs))
+	}
+	p = casestudy.Params{
+		BeaconOrder:     bo,
+		SuperframeOrder: so,
+		PayloadBytes:    payload,
+		CR:              crs,
+		MicroFreq:       fucs,
+	}
+	return p, p.Validate()
+}
+
+func repeatF(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func repeatH(v units.Hertz, n int) []units.Hertz {
+	out := make([]units.Hertz, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsndse/internal/units"
+)
+
+// Assignment is the solution of the transmission-interval assignment
+// problem of §3.2: per-node interval multipliers k^(n) and the resulting
+// per-second intervals Δ_tx^(n) = k^(n)·δ satisfying Eq. 1, with Eq. 2's
+// budget accounting.
+type Assignment struct {
+	// K[i] is the integer multiplier k^(i) of the MAC quantum δ.
+	K []int
+	// DeltaTx[i] = K[i]·δ is node i's transmission interval in seconds
+	// of channel time per second.
+	DeltaTx []float64
+	// Used is Σ DeltaTx.
+	Used float64
+	// Capacity is the MAC's assignable budget; Used ≤ Capacity.
+	Capacity float64
+	// ControlTime is the MAC's structural Δ_control component. Eq. 2
+	// balances as Used + ControlTime + Idle = 1.
+	ControlTime float64
+	// Idle is assignable-but-unused channel time (1 − Used −
+	// ControlTime); under Eq. 2's accounting it belongs to Δ_control.
+	Idle float64
+}
+
+// Assign solves Eq. 1 for every node with the minimal integer multiplier,
+//
+//	Δ_tx^(n) = k^(n)·δ ≥ T_tx(φ_out^(n) + Ω(φ_out^(n))),
+//
+// then verifies the capacity constraint derived from Eq. 2. The φ_out
+// values are the nodes' application output rates in B/s.
+//
+// It returns an InfeasibleError when the demanded channel time exceeds the
+// MAC's capacity, so DSE can treat the configuration as constraint-
+// violating rather than erroring out.
+func Assign(mac MAC, phiOut []units.BytesPerSecond) (*Assignment, error) {
+	if len(phiOut) == 0 {
+		return nil, fmt.Errorf("core: Assign: no nodes")
+	}
+	delta := mac.Quantum()
+	if delta <= 0 {
+		return nil, fmt.Errorf("core: Assign: MAC %q has non-positive quantum %g", mac.Name(), delta)
+	}
+	capacity := mac.Capacity()
+
+	a := &Assignment{
+		K:           make([]int, len(phiOut)),
+		DeltaTx:     make([]float64, len(phiOut)),
+		Capacity:    capacity,
+		ControlTime: mac.ControlTime(),
+	}
+	qf, hasFloor := mac.(QuantaFloor)
+	for i, phi := range phiOut {
+		if phi < 0 {
+			return nil, fmt.Errorf("core: Assign: node %d has negative output rate %g", i, float64(phi))
+		}
+		need := mac.TxTime(phi)
+		if need < 0 {
+			return nil, fmt.Errorf("core: Assign: MAC %q returned negative TxTime for %v", mac.Name(), phi)
+		}
+		k := int(math.Ceil(need/delta - 1e-12)) // tolerate exact multiples
+		if k == 0 && phi > 0 {
+			k = 1 // a nonzero stream always needs at least one quantum
+		}
+		if hasFloor {
+			if mk := qf.MinQuanta(phi); k < mk {
+				k = mk
+			}
+		}
+		a.K[i] = k
+		a.DeltaTx[i] = float64(k) * delta
+		a.Used += a.DeltaTx[i]
+	}
+	if a.Used > capacity+1e-12 {
+		return nil, Infeasible(
+			"transmission demand %.6f s/s exceeds MAC %q capacity %.6f s/s (N=%d nodes)",
+			a.Used, mac.Name(), capacity, len(phiOut))
+	}
+	a.Idle = 1 - a.Used - a.ControlTime
+	if a.Idle < 0 {
+		// Structural control time plus assignments cannot exceed one
+		// second; a violation means the MAC's Capacity and
+		// ControlTime disagree.
+		return nil, fmt.Errorf("core: Assign: MAC %q accounting broken: used %.6f + control %.6f > 1",
+			mac.Name(), a.Used, a.ControlTime)
+	}
+	return a, nil
+}

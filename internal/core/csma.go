@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	ieee "wsndse/internal/ieee802154"
+	"wsndse/internal/units"
+)
+
+// CSMAMac adapts the abstract model to contention access, following the
+// paper's remark (§3.2) that for CSMA/CA the Δ_tx's can be determined
+// statistically as the average channel time a node can successfully use
+// per second (after Buratti's analysis of the beacon-enabled slotted
+// CSMA/CA [19]).
+//
+// The characterization is intentionally first-order:
+//
+//   - each contender attempts a transmission in a backoff slot with
+//     probability τ = 2/(CW+1);
+//   - a tagged node's attempt succeeds when no other node attempts in the
+//     same slot: q = (1−τ)^(N−1);
+//   - every packet therefore costs 1/q transmissions on average, which
+//     inflates both the channel time and the transmitted bytes (the
+//     "average amount of retransmitted data can be added to the original
+//     φ_out", §3.3);
+//   - clear-channel assessment and backoff waiting keep the receiver on;
+//     that listening cost enters the model as equivalent received bytes so
+//     the Eq. 6 energy shape is preserved.
+type CSMAMac struct {
+	Superframe   ieee.SuperframeConfig
+	PayloadBytes int
+	NumNodes     int
+	// ContentionWindow is the average backoff window in backoff units
+	// (aUnitBackoffPeriod = 20 symbols); 8 corresponds to macMinBE = 3.
+	ContentionWindow int
+}
+
+// NewCSMAMac validates the parameters and builds the contention MAC model.
+func NewCSMAMac(sf ieee.SuperframeConfig, payloadBytes, numNodes, cw int) (*CSMAMac, error) {
+	if err := sf.Validate(); err != nil {
+		return nil, err
+	}
+	if payloadBytes < 1 || payloadBytes > ieee.MaxDataPayload {
+		return nil, fmt.Errorf("core: CSMA payload %d out of range [1,%d]", payloadBytes, ieee.MaxDataPayload)
+	}
+	if numNodes < 1 {
+		return nil, fmt.Errorf("core: CSMA needs at least one node, got %d", numNodes)
+	}
+	if cw < 2 {
+		return nil, fmt.Errorf("core: CSMA contention window %d must be ≥ 2", cw)
+	}
+	return &CSMAMac{Superframe: sf, PayloadBytes: payloadBytes, NumNodes: numNodes, ContentionWindow: cw}, nil
+}
+
+// Name identifies the MAC.
+func (m *CSMAMac) Name() string { return "ieee802.15.4-csma" }
+
+// attemptProb is τ, the per-backoff-slot attempt probability.
+func (m *CSMAMac) attemptProb() float64 { return 2 / float64(m.ContentionWindow+1) }
+
+// successProb is q = (1−τ)^(N−1): a tagged attempt sees a clear slot.
+func (m *CSMAMac) successProb() float64 {
+	return math.Pow(1-m.attemptProb(), float64(m.NumNodes-1))
+}
+
+// ExpectedTransmissions is 1/q, the mean attempts per delivered packet.
+func (m *CSMAMac) ExpectedTransmissions() float64 { return 1 / m.successProb() }
+
+func (m *CSMAMac) packetsPerSecond(phiOut units.BytesPerSecond) float64 {
+	return float64(phiOut) / float64(m.PayloadBytes)
+}
+
+// DataOverhead is the per-frame MAC overhead plus the retransmitted data:
+// Ω = 13·φ/L + (1/q − 1)·(φ + 13·φ/L).
+func (m *CSMAMac) DataOverhead(phiOut units.BytesPerSecond) units.BytesPerSecond {
+	base := float64(ieee.MACOverheadBytes) * m.packetsPerSecond(phiOut)
+	retries := (m.ExpectedTransmissions() - 1) * (float64(phiOut) + base)
+	return units.BytesPerSecond(base + retries)
+}
+
+// ControlUp is zero: data frames carry no extra uplink control.
+func (m *CSMAMac) ControlUp(units.BytesPerSecond) units.BytesPerSecond { return 0 }
+
+// ControlDown counts acknowledgements for every attempt plus beacons, plus
+// the CCA/backoff listening cost expressed as equivalent received bytes.
+func (m *CSMAMac) ControlDown(phiOut units.BytesPerSecond) units.BytesPerSecond {
+	attempts := m.packetsPerSecond(phiOut) * m.ExpectedTransmissions()
+	acks := float64(ieee.AckBytes) * attempts
+	beacons := float64(ieee.BeaconBytes(0)) / float64(m.Superframe.BeaconInterval())
+	listen := m.listenTimePerSecond(phiOut) * float64(ieee.BitRate) / 8
+	return units.BytesPerSecond(acks + beacons + listen)
+}
+
+// listenTimePerSecond is the expected CCA + backoff listening time: each
+// attempt waits on average CW/2 backoff units with the receiver on, plus
+// two CCA slots.
+func (m *CSMAMac) listenTimePerSecond(phiOut units.BytesPerSecond) float64 {
+	attempts := m.packetsPerSecond(phiOut) * m.ExpectedTransmissions()
+	perAttempt := (float64(m.ContentionWindow)/2 + 2) * float64(ieee.Symbols(ieee.AUnitBackoffPeriod))
+	return attempts * perAttempt
+}
+
+// AirOverheadUp is the PHY encapsulation for every transmission attempt.
+func (m *CSMAMac) AirOverheadUp(phiOut units.BytesPerSecond) units.BytesPerSecond {
+	attempts := m.packetsPerSecond(phiOut) * m.ExpectedTransmissions()
+	return units.BytesPerSecond(float64(ieee.PHYOverheadBytes) * attempts)
+}
+
+// AirOverheadDown is the PHY encapsulation on acknowledgements and beacons.
+func (m *CSMAMac) AirOverheadDown(phiOut units.BytesPerSecond) units.BytesPerSecond {
+	attempts := m.packetsPerSecond(phiOut)*m.ExpectedTransmissions() +
+		1/float64(m.Superframe.BeaconInterval())
+	return units.BytesPerSecond(float64(ieee.PHYOverheadBytes) * attempts)
+}
+
+// ControlTime is the beacon plus inactive-portion time; the whole active
+// CAP is assignable (statistically) to contenders.
+func (m *CSMAMac) ControlTime() float64 {
+	beacon := float64(ieee.BeaconAirTime(0)) / float64(m.Superframe.BeaconInterval())
+	inactive := 1 - m.Superframe.DutyCycle()
+	return beacon + inactive
+}
+
+// Quantum is one backoff unit per beacon interval: the statistical
+// assignment is quantized far more finely than GTS slots.
+func (m *CSMAMac) Quantum() float64 {
+	return float64(ieee.Symbols(ieee.AUnitBackoffPeriod)) / float64(m.Superframe.BeaconInterval())
+}
+
+// Capacity is the CAP share of the second, derated by the contention
+// efficiency: with N contenders only a fraction of the channel time turns
+// into successful transmissions.
+func (m *CSMAMac) Capacity() float64 {
+	return (1 - m.ControlTime()) * m.efficiency()
+}
+
+// efficiency estimates the fraction of contended channel time that is
+// usable: the probability that a busy slot carries a success, following
+// the standard slotted-contention analysis.
+func (m *CSMAMac) efficiency() float64 {
+	tau := m.attemptProb()
+	n := float64(m.NumNodes)
+	pTr := 1 - math.Pow(1-tau, n)
+	if pTr == 0 {
+		return 1
+	}
+	pS := n * tau * math.Pow(1-tau, n-1) / pTr
+	return pS
+}
+
+// TxTime is the expected channel time consumed per second, including
+// retransmissions of collided frames.
+func (m *CSMAMac) TxTime(phiOut units.BytesPerSecond) float64 {
+	if phiOut == 0 {
+		return 0
+	}
+	attempts := m.packetsPerSecond(phiOut) * m.ExpectedTransmissions()
+	bytesPerFrame := float64(ieee.DataFrameAirBytes(m.PayloadBytes))
+	air := float64(ieee.AirTime(bytesPerFrame)) * attempts
+	perAttempt := float64(ieee.Turnaround()) + float64(ieee.AckAirTime()) +
+		float64(ieee.IFS(m.PayloadBytes+ieee.MACOverheadBytes))
+	return air + attempts*perAttempt
+}
+
+// WorstCaseDelay provides the statistical delay bound: expected backoff
+// waiting across the mean number of attempts plus the frame service time,
+// amortized over the active portion of the superframe (frames generated in
+// the inactive portion wait for the next CAP).
+func (m *CSMAMac) WorstCaseDelay(deltaTx []float64, n int) units.Seconds {
+	if n < 0 || n >= len(deltaTx) {
+		return units.Seconds(math.NaN())
+	}
+	attempts := m.ExpectedTransmissions()
+	backoff := (float64(m.ContentionWindow) / 2) * float64(ieee.Symbols(ieee.AUnitBackoffPeriod))
+	service := float64(ieee.DataFrameAirTime(m.PayloadBytes)) + float64(ieee.AckAirTime()) +
+		float64(ieee.Turnaround())
+	inCAP := attempts * (backoff + service)
+	// Worst case: generation at the start of the inactive portion.
+	return units.Seconds(float64(m.Superframe.InactiveDuration()) + inCAP)
+}
+
+// String renders the configuration.
+func (m *CSMAMac) String() string {
+	return fmt.Sprintf("%s{%v, L=%dB, N=%d, CW=%d}",
+		m.Name(), m.Superframe, m.PayloadBytes, m.NumNodes, m.ContentionWindow)
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wsndse/internal/units"
+)
+
+// Battery describes a node's energy reservoir. The paper motivates the
+// whole exploration with lifetime ("a WSN has to ... guarantee a
+// sufficient lifetime", §1); converting the model's per-second energies
+// into operating hours is how a designer reads E_node in practice.
+type Battery struct {
+	// CapacityMilliampHours at the nominal voltage (a Shimmer ships
+	// with a 450 mAh Li-ion cell).
+	CapacityMilliampHours float64
+	// NominalVolts converts charge to energy.
+	NominalVolts float64
+	// UsableFraction derates the nameplate capacity for cutoff voltage
+	// and aging; 0 defaults to 0.85.
+	UsableFraction float64
+}
+
+// ShimmerBattery is the 450 mAh / 3.7 V cell of the case-study platform.
+func ShimmerBattery() Battery {
+	return Battery{CapacityMilliampHours: 450, NominalVolts: 3.7, UsableFraction: 0.85}
+}
+
+// Energy returns the usable energy in joules.
+func (b Battery) Energy() (units.Joules, error) {
+	if b.CapacityMilliampHours <= 0 || b.NominalVolts <= 0 {
+		return 0, fmt.Errorf("core: battery %+v has non-positive capacity or voltage", b)
+	}
+	frac := b.UsableFraction
+	if frac == 0 {
+		frac = 0.85
+	}
+	if frac < 0 || frac > 1 {
+		return 0, fmt.Errorf("core: battery usable fraction %g out of [0,1]", frac)
+	}
+	return units.Joules(b.CapacityMilliampHours / 1000 * 3600 * b.NominalVolts * frac), nil
+}
+
+// Lifetime converts a node's average power draw into operating time.
+func (b Battery) Lifetime(power units.Watts) (time.Duration, error) {
+	if power <= 0 {
+		return 0, fmt.Errorf("core: non-positive power %v", power)
+	}
+	e, err := b.Energy()
+	if err != nil {
+		return 0, err
+	}
+	seconds := float64(e) / float64(power)
+	return time.Duration(seconds * float64(time.Second)), nil
+}
+
+// NetworkLifetime summarizes an evaluation in lifetime terms: the first
+// node to die (the conventional WSN lifetime definition) and the spread
+// between the best and worst node — the imbalance the ϑ-weighted Eq. 8
+// metric exists to prevent.
+type NetworkLifetime struct {
+	FirstDeath time.Duration // min over nodes
+	LastDeath  time.Duration // max over nodes
+	// Imbalance is (LastDeath − FirstDeath)/LastDeath ∈ [0, 1): zero
+	// means perfectly balanced consumption.
+	Imbalance float64
+}
+
+// Lifetimes evaluates the per-node lifetimes of an Evaluation under a
+// common battery.
+func (ev *Evaluation) Lifetimes(b Battery) (NetworkLifetime, error) {
+	var nl NetworkLifetime
+	if len(ev.PerNode) == 0 {
+		return nl, fmt.Errorf("core: evaluation has no nodes")
+	}
+	for i, eb := range ev.PerNode {
+		lt, err := b.Lifetime(eb.Total)
+		if err != nil {
+			return nl, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		if i == 0 || lt < nl.FirstDeath {
+			nl.FirstDeath = lt
+		}
+		if lt > nl.LastDeath {
+			nl.LastDeath = lt
+		}
+	}
+	if nl.LastDeath > 0 {
+		nl.Imbalance = float64(nl.LastDeath-nl.FirstDeath) / float64(nl.LastDeath)
+	}
+	return nl, nil
+}

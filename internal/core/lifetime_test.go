@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBatteryEnergy(t *testing.T) {
+	b := ShimmerBattery()
+	e, err := b.Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 450 mAh × 3.7 V × 0.85 = 0.45 × 3600 × 3.7 × 0.85 ≈ 5094 J.
+	want := 0.45 * 3600 * 3.7 * 0.85
+	if math.Abs(float64(e)-want) > 1e-9 {
+		t.Errorf("energy = %v, want %g J", e, want)
+	}
+}
+
+func TestBatteryValidation(t *testing.T) {
+	if _, err := (Battery{}).Energy(); err == nil {
+		t.Error("zero battery accepted")
+	}
+	if _, err := (Battery{CapacityMilliampHours: 100, NominalVolts: 3, UsableFraction: 2}).Energy(); err == nil {
+		t.Error("usable fraction > 1 accepted")
+	}
+	if _, err := ShimmerBattery().Lifetime(0); err == nil {
+		t.Error("zero power accepted")
+	}
+}
+
+func TestLifetimeMagnitude(t *testing.T) {
+	// A 4 mW node on the Shimmer cell should last on the order of two
+	// weeks — the regime wearable monitors actually live in.
+	lt, err := ShimmerBattery().Lifetime(4e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := lt.Hours() / 24
+	if days < 7 || days > 30 {
+		t.Errorf("lifetime %.1f days implausible for 4 mW", days)
+	}
+	// Halving the power doubles the lifetime.
+	lt2, err := ShimmerBattery().Lifetime(2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(lt2)-2*float64(lt)) > float64(time.Second) {
+		t.Error("lifetime not inversely proportional to power")
+	}
+}
+
+func TestNetworkLifetimes(t *testing.T) {
+	net := testNetwork(t, 6, 0.23, 8e6)
+	ev, err := net.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := ev.Lifetimes(ShimmerBattery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.FirstDeath <= 0 || nl.LastDeath < nl.FirstDeath {
+		t.Errorf("lifetimes inconsistent: %+v", nl)
+	}
+	// DWT nodes draw more than CS nodes, so the network is imbalanced:
+	// the first death (a DWT node) comes measurably before the last.
+	if nl.Imbalance < 0.1 {
+		t.Errorf("imbalance %.3f, expected the DWT/CS split to show", nl.Imbalance)
+	}
+	// Empty evaluation rejected.
+	if _, err := (&Evaluation{}).Lifetimes(ShimmerBattery()); err == nil {
+		t.Error("empty evaluation accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsndse/internal/numeric"
+	"wsndse/internal/units"
+)
+
+// Network is a star-topology WBSN: a set of nodes sharing one MAC, plus
+// the balance weight ϑ of the network-level metrics (Eq. 8).
+type Network struct {
+	Nodes []*Node
+	MAC   MAC
+	// Theta is ϑ: how strongly imbalance between nodes is penalized in
+	// the combined metrics. Zero reduces Eq. 8 to the plain mean.
+	Theta float64
+}
+
+// Evaluation is the complete system-level result for one configuration:
+// everything the DSE needs, produced in one pass.
+type Evaluation struct {
+	// PerNode breakdowns, in node order.
+	PerNode []EnergyBreakdown
+	// PerNodeQuality is each node's loss-of-quality e(φ_in, χ_node)
+	// (PRD % for the case-study compressors).
+	PerNodeQuality []float64
+	// PerNodeDelay is each node's worst-case data delay in seconds
+	// (NaN when the MAC provides no delay bound).
+	PerNodeDelay []float64
+	// Assignment is the Eq. 1–2 solution underlying the evaluation.
+	Assignment *Assignment
+
+	// Energy is E_net (Eq. 8) in watts; Quality and Delay apply the
+	// same mean-plus-ϑ·stddev combinator to the per-node quality and
+	// delay vectors.
+	Energy  units.Watts
+	Quality float64
+	Delay   units.Seconds
+}
+
+// Combine is Eq. 8's combinator: mean(values) + theta·sampleStdDev(values).
+// The paper defines E_net this way and applies the same form to the
+// application quality metric; it rewards balanced networks where no node
+// is starved or disproportionately drained.
+func Combine(values []float64, theta float64) float64 {
+	return numeric.Mean(values) + theta*numeric.SampleStdDev(values)
+}
+
+// Evaluate runs the full model: assignment (Eqs. 1–2), per-node energies
+// (Eqs. 3–7), delay bounds (Eq. 9 for the 802.15.4 MAC) and the combined
+// network metrics (Eq. 8). Infeasible configurations yield an
+// InfeasibleError.
+func (net *Network) Evaluate() (*Evaluation, error) {
+	if len(net.Nodes) == 0 {
+		return nil, fmt.Errorf("core: Evaluate: network has no nodes")
+	}
+	if net.MAC == nil {
+		return nil, fmt.Errorf("core: Evaluate: network has no MAC")
+	}
+	if net.Theta < 0 {
+		return nil, fmt.Errorf("core: Evaluate: negative balance weight ϑ=%g", net.Theta)
+	}
+
+	phiOut := make([]units.BytesPerSecond, len(net.Nodes))
+	for i, n := range net.Nodes {
+		phiOut[i] = n.OutputRate()
+	}
+	assignment, err := Assign(net.MAC, phiOut)
+	if err != nil {
+		return nil, err
+	}
+
+	ev := &Evaluation{
+		PerNode:        make([]EnergyBreakdown, len(net.Nodes)),
+		PerNodeQuality: make([]float64, len(net.Nodes)),
+		PerNodeDelay:   make([]float64, len(net.Nodes)),
+		Assignment:     assignment,
+	}
+	energies := make([]float64, len(net.Nodes))
+	for i, n := range net.Nodes {
+		eb, err := n.Energy(net.MAC)
+		if err != nil {
+			return nil, err
+		}
+		ev.PerNode[i] = eb
+		energies[i] = float64(eb.Total)
+		ev.PerNodeQuality[i] = n.App.Quality(n.InputRate())
+	}
+
+	if db, ok := net.MAC.(DelayBound); ok {
+		for i := range net.Nodes {
+			ev.PerNodeDelay[i] = float64(db.WorstCaseDelay(assignment.DeltaTx, i))
+		}
+		ev.Delay = units.Seconds(Combine(ev.PerNodeDelay, net.Theta))
+	} else {
+		for i := range ev.PerNodeDelay {
+			ev.PerNodeDelay[i] = math.NaN()
+		}
+		ev.Delay = units.Seconds(math.NaN())
+	}
+
+	ev.Energy = units.Watts(Combine(energies, net.Theta))
+	ev.Quality = Combine(ev.PerNodeQuality, net.Theta)
+	return ev, nil
+}
+
+// Validate checks all nodes and the MAC wiring without evaluating.
+func (net *Network) Validate() error {
+	if len(net.Nodes) == 0 {
+		return fmt.Errorf("core: network has no nodes")
+	}
+	if net.MAC == nil {
+		return fmt.Errorf("core: network has no MAC")
+	}
+	for _, n := range net.Nodes {
+		if err := n.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

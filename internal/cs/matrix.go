@@ -1,0 +1,91 @@
+// Package cs implements the compressed-sensing ECG codec used by the other
+// half of the case-study nodes (following Mamaghanian et al. [13]).
+//
+// Encoding is deliberately cheap — a sparse binary sensing matrix turns a
+// block of n samples into m ≪ n random projections, which is why the CS
+// application has a much lower microcontroller duty cycle than the DWT one
+// in the paper (k_CS = 388.8/f_µC vs k_DWT = 2265.6/f_µC). All the work
+// happens at the decoder (the network coordinator), which reconstructs the
+// block with orthogonal matching pursuit in a wavelet sparsity basis.
+package cs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wsndse/internal/numeric"
+)
+
+// SensingMatrix is an m×n sparse binary matrix with exactly D ones per
+// column, scaled by 1/√D so columns have unit norm. This is the standard
+// low-power choice: applying it needs only D additions per input sample.
+type SensingMatrix struct {
+	M, N, D int
+	rows    [][]int32 // rows[j] lists the D row indices of column j
+}
+
+// NewSensingMatrix builds the matrix deterministically from the seed. The
+// same (m, n, d, seed) tuple always yields the same matrix, which is how
+// the sensor and the coordinator stay in sync without transmitting it.
+func NewSensingMatrix(m, n, d int, seed int64) (*SensingMatrix, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("cs: sensing matrix %dx%d must be non-empty", m, n)
+	}
+	if d < 1 || d > m {
+		return nil, fmt.Errorf("cs: column weight %d out of range [1,%d]", d, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]int32, n)
+	perm := make([]int32, m)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for j := range rows {
+		// Partial Fisher–Yates: pick d distinct rows for this column.
+		for i := 0; i < d; i++ {
+			k := i + rng.Intn(m-i)
+			perm[i], perm[k] = perm[k], perm[i]
+		}
+		col := make([]int32, d)
+		copy(col, perm[:d])
+		rows[j] = col
+	}
+	return &SensingMatrix{M: m, N: n, D: d, rows: rows}, nil
+}
+
+// Apply computes y = Φx with the sparse representation: D additions per
+// sample followed by the 1/√D normalization.
+func (s *SensingMatrix) Apply(x []float64) []float64 {
+	if len(x) != s.N {
+		panic(fmt.Sprintf("cs: Apply: len(x)=%d, want %d", len(x), s.N))
+	}
+	y := make([]float64, s.M)
+	for j, col := range s.rows {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for _, r := range col {
+			y[r] += xj
+		}
+	}
+	scale := 1 / math.Sqrt(float64(s.D))
+	for i := range y {
+		y[i] *= scale
+	}
+	return y
+}
+
+// Dense materializes the matrix, mainly for building OMP dictionaries and
+// for tests.
+func (s *SensingMatrix) Dense() *numeric.Matrix {
+	m := numeric.NewMatrix(s.M, s.N)
+	v := 1 / math.Sqrt(float64(s.D))
+	for j, col := range s.rows {
+		for _, r := range col {
+			m.Set(int(r), j, v)
+		}
+	}
+	return m
+}

@@ -1,0 +1,188 @@
+package cs
+
+import (
+	"sync"
+
+	"wsndse/internal/dwt"
+	"wsndse/internal/numeric"
+)
+
+// dictionary holds the OMP dictionary A = Φ·Ψᵀ for one measurement count:
+// column j is the projection through the sensing matrix of the j-th inverse
+// wavelet basis vector. Reconstructing y ≈ A·α recovers the block's wavelet
+// coefficients α, from which the signal follows by inverse transform.
+type dictionary struct {
+	m, n  int
+	atoms *numeric.Matrix // m×n
+	norms []float64       // column 2-norms
+	// alen is the length of the approximation band (the first alen
+	// coefficients). ECG blocks always have significant approximation
+	// coefficients (DC level, baseline wander), so the solvers treat the
+	// band as unpenalized/pre-selected rather than asking sparsity
+	// machinery to discover it.
+	alen int
+}
+
+var dictMu sync.Mutex
+
+// dictionary returns the cached dictionary for m measurements, building it
+// on first use. Building costs n inverse transforms plus n sparse
+// projections and is amortized across all blocks decoded at this rate.
+func (c *Codec) dictionary(m int) (*dictionary, error) {
+	dictMu.Lock()
+	defer dictMu.Unlock()
+	if c.dicts == nil {
+		c.dicts = make(map[int]*dictionary)
+	}
+	if d, ok := c.dicts[m]; ok {
+		return d, nil
+	}
+	phi, err := NewSensingMatrix(m, c.N, c.D, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	atoms := numeric.NewMatrix(m, c.N)
+	norms := make([]float64, c.N)
+	basis := make([]float64, c.N)
+	for j := 0; j < c.N; j++ {
+		basis[j] = 1
+		psi, err := dwt.Inverse(c.Wavelet, basis, c.Levels)
+		basis[j] = 0
+		if err != nil {
+			return nil, err
+		}
+		col := phi.Apply(psi)
+		for i, v := range col {
+			atoms.Set(i, j, v)
+		}
+		norms[j] = numeric.Norm2(col)
+	}
+	d := &dictionary{m: m, n: c.N, atoms: atoms, norms: norms, alen: c.N >> c.Levels}
+	c.dicts[m] = d
+	return d, nil
+}
+
+// omp runs orthogonal matching pursuit: greedily select the dictionary atom
+// most correlated with the residual, re-fit all selected atoms by least
+// squares, and repeat until the residual is small or maxIter atoms are
+// used. The approximation band is pre-selected (see dictionary.alen). The
+// return value is the length-n sparse coefficient vector.
+func (d *dictionary) omp(y []float64, maxIter int, tol float64) []float64 {
+	alpha := make([]float64, d.n)
+	residual := make([]float64, d.m)
+	copy(residual, y)
+	yNorm := numeric.Norm2(y)
+	if yNorm == 0 {
+		return alpha
+	}
+	stop := tol * yNorm
+
+	support := make([]int, 0, d.alen+maxIter)
+	inSupport := make([]bool, d.n)
+	for j := 0; j < d.alen && len(support) < d.m/2; j++ {
+		support = append(support, j)
+		inSupport[j] = true
+	}
+	var coef []float64
+	if len(support) > 0 {
+		if c := d.lsFit(y, support); c != nil {
+			coef = c
+			d.residualUpdate(y, support, coef, residual)
+		}
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Correlation step: argmax_j |⟨r, a_j⟩| / ‖a_j‖.
+		corr := d.atoms.TMulVec(residual)
+		best, bestVal := -1, 0.0
+		for j, cj := range corr {
+			if inSupport[j] || d.norms[j] == 0 {
+				continue
+			}
+			v := cj / d.norms[j]
+			if v < 0 {
+				v = -v
+			}
+			if v > bestVal {
+				best, bestVal = j, v
+			}
+		}
+		if best < 0 || bestVal < 1e-12*yNorm {
+			break
+		}
+		support = append(support, best)
+		inSupport[best] = true
+
+		c := d.lsFit(y, support)
+		if c == nil {
+			// Numerically degenerate support (nearly parallel
+			// atoms); drop the newest atom and stop refining.
+			support = support[:len(support)-1]
+			break
+		}
+		coef = c
+		d.residualUpdate(y, support, coef, residual)
+		if numeric.Norm2(residual) <= stop {
+			break
+		}
+	}
+	for a, j := range support {
+		if a < len(coef) {
+			alpha[j] = coef[a]
+		}
+	}
+	return alpha
+}
+
+// lsFit solves min ‖y − A_S·c‖₂ + ε‖c‖₂ on the given support via normal
+// equations. The small ridge term (ε = 10⁻⁴ of the mean Gram diagonal)
+// keeps the estimate bounded when the support approaches the measurement
+// dimension, where unmodeled-tail energy would otherwise be amplified by an
+// ill-conditioned Gram matrix. It returns nil when the system is singular
+// even with the ridge.
+func (d *dictionary) lsFit(y []float64, support []int) []float64 {
+	k := len(support)
+	gram := numeric.NewMatrix(k, k)
+	rhs := make([]float64, k)
+	var trace float64
+	for a := 0; a < k; a++ {
+		ja := support[a]
+		for b := a; b < k; b++ {
+			jb := support[b]
+			var s float64
+			for i := 0; i < d.m; i++ {
+				s += d.atoms.At(i, ja) * d.atoms.At(i, jb)
+			}
+			gram.Set(a, b, s)
+			gram.Set(b, a, s)
+			if a == b {
+				trace += s
+			}
+		}
+		var s float64
+		for i := 0; i < d.m; i++ {
+			s += d.atoms.At(i, ja) * y[i]
+		}
+		rhs[a] = s
+	}
+	ridge := 1e-4 * trace / float64(k)
+	for a := 0; a < k; a++ {
+		gram.Set(a, a, gram.At(a, a)+ridge)
+	}
+	coef, err := gram.Solve(rhs)
+	if err != nil {
+		return nil
+	}
+	return coef
+}
+
+// residualUpdate computes r = y − A_S·coef into residual.
+func (d *dictionary) residualUpdate(y []float64, support []int, coef, residual []float64) {
+	copy(residual, y)
+	for a, j := range support {
+		ca := coef[a]
+		for i := 0; i < d.m; i++ {
+			residual[i] -= ca * d.atoms.At(i, j)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MOSAConfig parameterizes multi-objective simulated annealing.
+type MOSAConfig struct {
+	Iterations  int     // default 5000
+	InitialTemp float64 // default 1.0
+	Cooling     float64 // geometric factor per iteration; default 0.999
+	Restarts    int     // independent chains; default 4
+	Seed        int64
+}
+
+func (c MOSAConfig) withDefaults() MOSAConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 5000
+	}
+	if c.InitialTemp == 0 {
+		c.InitialTemp = 1.0
+	}
+	if c.Cooling == 0 {
+		c.Cooling = 0.999
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 4
+	}
+	return c
+}
+
+// MOSA runs archive-based multi-objective simulated annealing in the
+// spirit of Nam & Park [27]: a random walk over single-gene neighbours
+// whose acceptance energy is the fraction of the current archive that
+// dominates the candidate, so the chain is always pulled toward (and
+// along) the front. Several independent chains share one archive.
+//
+// The paper reports that the model-driven DSE found fronts of equivalent
+// quality with genetic algorithms and simulated annealing (§5.2); MOSA is
+// here so that claim can be checked.
+func MOSA(space *Space, eval Evaluator, cfg MOSAConfig) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Cooling <= 0 || cfg.Cooling >= 1 {
+		return nil, fmt.Errorf("dse: cooling factor %g must be in (0,1)", cfg.Cooling)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	memo := newMemo(eval)
+	var arch Archive
+
+	energy := func(p Point) float64 {
+		if !p.Feasible {
+			return 2 // worse than any feasible energy
+		}
+		if arch.Len() == 0 {
+			return 0
+		}
+		dominated := 0
+		for _, q := range arch.Points() {
+			if Dominates(q.Objs, p.Objs) {
+				dominated++
+			}
+		}
+		return float64(dominated) / float64(arch.Len())
+	}
+
+	for chain := 0; chain < cfg.Restarts; chain++ {
+		cur := memo.eval(space.Random(rng))
+		arch.Add(cur)
+		curE := energy(cur)
+		temp := cfg.InitialTemp
+		for it := 0; it < cfg.Iterations/cfg.Restarts; it++ {
+			cand := memo.eval(space.Neighbor(rng, cur.Config))
+			arch.Add(cand)
+			candE := energy(cand)
+			if candE <= curE || rng.Float64() < math.Exp(-(candE-curE)/temp) {
+				cur, curE = cand, candE
+			}
+			temp *= cfg.Cooling
+		}
+	}
+	return &Result{Front: arch.Points(), Evaluated: memo.evaluated, Infeasible: memo.infeasible}, nil
+}

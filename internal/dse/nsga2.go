@@ -1,0 +1,179 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NSGA2Config parameterizes the genetic algorithm.
+type NSGA2Config struct {
+	PopulationSize int     // default 64
+	Generations    int     // default 50
+	CrossoverProb  float64 // default 0.9
+	MutationProb   float64 // per gene; default 1/len(genes)
+	Seed           int64
+}
+
+func (c NSGA2Config) withDefaults(genes int) NSGA2Config {
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 64
+	}
+	if c.Generations == 0 {
+		c.Generations = 50
+	}
+	if c.CrossoverProb == 0 {
+		c.CrossoverProb = 0.9
+	}
+	if c.MutationProb == 0 {
+		c.MutationProb = 1 / float64(genes)
+	}
+	return c
+}
+
+// NSGA2 runs the elitist non-dominated-sorting genetic algorithm of Deb et
+// al. — the "genetic algorithms (which have already been used in the WSN
+// domain)" the paper drives with its model (§5.2). The returned front is
+// the non-dominated set over every point evaluated during the run, not
+// merely the final population.
+func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(len(space.Params))
+	if cfg.PopulationSize < 4 || cfg.PopulationSize%2 != 0 {
+		return nil, fmt.Errorf("dse: population size %d must be even and ≥ 4", cfg.PopulationSize)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	memo := newMemo(eval)
+	var arch Archive
+
+	pop := make([]Point, cfg.PopulationSize)
+	for i := range pop {
+		pop[i] = memo.eval(space.Random(rng))
+		arch.Add(pop[i])
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		ranks, crowd := rankAndCrowd(pop)
+
+		// Variation: binary tournaments pick parents, uniform
+		// crossover plus per-gene mutation produce offspring.
+		offspring := make([]Point, 0, cfg.PopulationSize)
+		for len(offspring) < cfg.PopulationSize {
+			a := tournament(rng, pop, ranks, crowd)
+			b := tournament(rng, pop, ranks, crowd)
+			var child Config
+			if rng.Float64() < cfg.CrossoverProb {
+				child = space.Crossover(rng, pop[a].Config, pop[b].Config)
+			} else {
+				child = pop[a].Config.Clone()
+			}
+			child = space.Mutate(rng, child, cfg.MutationProb)
+			p := memo.eval(child)
+			arch.Add(p)
+			offspring = append(offspring, p)
+		}
+
+		// Elitist environmental selection over parents ∪ offspring.
+		pop = environmentalSelection(append(pop, offspring...), cfg.PopulationSize)
+	}
+	return &Result{Front: arch.Points(), Evaluated: memo.evaluated, Infeasible: memo.infeasible}, nil
+}
+
+// rankAndCrowd computes the non-domination rank (0 = best) and crowding
+// distance of each population member under constrained dominance.
+func rankAndCrowd(pop []Point) (ranks []int, crowd []float64) {
+	n := len(pop)
+	ranks = make([]int, n)
+	crowd = make([]float64, n)
+
+	dominatedBy := make([][]int, n) // dominatedBy[i]: indices i dominates
+	count := make([]int, n)         // how many dominate i
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if dominatesConstrained(pop[i], pop[j]) {
+				dominatedBy[i] = append(dominatedBy[i], j)
+			} else if dominatesConstrained(pop[j], pop[i]) {
+				count[i]++
+			}
+		}
+	}
+	var front []int
+	for i := 0; i < n; i++ {
+		if count[i] == 0 {
+			ranks[i] = 0
+			front = append(front, i)
+		}
+	}
+	rank := 0
+	for len(front) > 0 {
+		var next []int
+		for _, i := range front {
+			for _, j := range dominatedBy[i] {
+				count[j]--
+				if count[j] == 0 {
+					ranks[j] = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		// Crowding within this front.
+		members := make([]Point, len(front))
+		for k, i := range front {
+			members[k] = pop[i]
+		}
+		d := CrowdingDistance(members)
+		for k, i := range front {
+			crowd[i] = d[k]
+		}
+		front = next
+		rank++
+	}
+	return ranks, crowd
+}
+
+// tournament returns the index of the binary-tournament winner: lower rank
+// wins, ties broken by larger crowding distance.
+func tournament(rng *rand.Rand, pop []Point, ranks []int, crowd []float64) int {
+	a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+	switch {
+	case ranks[a] < ranks[b]:
+		return a
+	case ranks[b] < ranks[a]:
+		return b
+	case crowd[a] >= crowd[b]:
+		return a
+	default:
+		return b
+	}
+}
+
+// environmentalSelection keeps the best `size` points by (rank, crowding).
+func environmentalSelection(union []Point, size int) []Point {
+	ranks, crowd := rankAndCrowd(union)
+	idx := make([]int, len(union))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if ranks[ia] != ranks[ib] {
+			return ranks[ia] < ranks[ib]
+		}
+		ca, cb := crowd[ia], crowd[ib]
+		if math.IsInf(ca, 1) && math.IsInf(cb, 1) {
+			return ia < ib // stable among boundary points
+		}
+		return ca > cb
+	})
+	out := make([]Point, size)
+	for i := 0; i < size; i++ {
+		out[i] = union[idx[i]]
+	}
+	return out
+}

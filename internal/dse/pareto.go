@@ -1,0 +1,253 @@
+package dse
+
+import (
+	"math"
+	"sort"
+)
+
+// Objectives is a vector of objective values, all minimized.
+type Objectives []float64
+
+// Evaluator maps configurations to objective vectors. Implementations
+// return an error satisfying core.IsInfeasible semantics (any error is
+// treated as a constraint violation by the search algorithms; hard
+// evaluator bugs should panic instead).
+type Evaluator interface {
+	Evaluate(c Config) (Objectives, error)
+	NumObjectives() int
+}
+
+// Point is an evaluated design point.
+type Point struct {
+	Config   Config
+	Objs     Objectives
+	Feasible bool
+}
+
+// Dominates reports whether a Pareto-dominates b: no worse in every
+// objective and strictly better in at least one. Both vectors must have
+// equal length.
+func Dominates(a, b Objectives) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// dominatesConstrained applies Deb's constrained dominance: feasible beats
+// infeasible; two feasibles compare by Pareto dominance; two infeasibles
+// are incomparable (the evaluator provides no violation magnitude).
+func dominatesConstrained(a, b Point) bool {
+	switch {
+	case a.Feasible && !b.Feasible:
+		return true
+	case !a.Feasible:
+		return false
+	default:
+		return Dominates(a.Objs, b.Objs)
+	}
+}
+
+// NonDominated filters points to the Pareto-optimal subset among the
+// feasible ones (infeasible points never survive). Duplicate objective
+// vectors are kept once.
+func NonDominated(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		if !p.Feasible {
+			continue
+		}
+		dominated := false
+		duplicate := false
+		for j, q := range points {
+			if i == j || !q.Feasible {
+				continue
+			}
+			if Dominates(q.Objs, p.Objs) {
+				dominated = true
+				break
+			}
+			if j < i && equalObjs(q.Objs, p.Objs) {
+				duplicate = true
+				break
+			}
+		}
+		if !dominated && !duplicate {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func equalObjs(a, b Objectives) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Archive maintains a non-dominated set incrementally.
+type Archive struct {
+	points []Point
+}
+
+// Add inserts p if no archived point dominates it, evicting points it
+// dominates. It reports whether p was inserted.
+func (a *Archive) Add(p Point) bool {
+	if !p.Feasible {
+		return false
+	}
+	kept := a.points[:0]
+	for _, q := range a.points {
+		if Dominates(q.Objs, p.Objs) || equalObjs(q.Objs, p.Objs) {
+			return false
+		}
+		if !Dominates(p.Objs, q.Objs) {
+			kept = append(kept, q)
+		}
+	}
+	a.points = append(kept, p)
+	return true
+}
+
+// Points returns the archived front (shared slice; callers must not
+// modify).
+func (a *Archive) Points() []Point { return a.points }
+
+// Len returns the archive size.
+func (a *Archive) Len() int { return len(a.points) }
+
+// CrowdingDistance computes the NSGA-II crowding distance of each point in
+// a front. Boundary points get +Inf.
+func CrowdingDistance(front []Point) []float64 {
+	n := len(front)
+	dist := make([]float64, n)
+	if n == 0 {
+		return dist
+	}
+	m := len(front[0].Objs)
+	idx := make([]int, n)
+	for obj := 0; obj < m; obj++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return front[idx[a]].Objs[obj] < front[idx[b]].Objs[obj]
+		})
+		lo := front[idx[0]].Objs[obj]
+		hi := front[idx[n-1]].Objs[obj]
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[n-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			dist[idx[k]] += (front[idx[k+1]].Objs[obj] - front[idx[k-1]].Objs[obj]) / (hi - lo)
+		}
+	}
+	return dist
+}
+
+// Hypervolume computes the dominated hypervolume of a front with respect
+// to a reference point (which every front point must weakly dominate).
+// Supported dimensions: 2 and 3, covering the paper's tradeoff plots.
+func Hypervolume(front []Point, ref Objectives) float64 {
+	pts := make([]Objectives, 0, len(front))
+	for _, p := range front {
+		inside := true
+		for i := range ref {
+			if p.Objs[i] > ref[i] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			pts = append(pts, p.Objs)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	switch len(ref) {
+	case 2:
+		return hv2(pts, ref)
+	case 3:
+		return hv3(pts, ref)
+	default:
+		panic("dse: Hypervolume supports 2 or 3 objectives")
+	}
+}
+
+// hv2 sweeps points by the first objective.
+func hv2(pts []Objectives, ref Objectives) float64 {
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a][0] != pts[b][0] {
+			return pts[a][0] < pts[b][0]
+		}
+		return pts[a][1] < pts[b][1]
+	})
+	var hv float64
+	bestY := ref[1]
+	for _, p := range pts {
+		if p[1] < bestY {
+			hv += (ref[0] - p[0]) * (bestY - p[1])
+			bestY = p[1]
+		}
+	}
+	return hv
+}
+
+// hv3 slices along the third objective: between consecutive z values the
+// dominated area is the 2-D hypervolume of the points with z below the
+// slice.
+func hv3(pts []Objectives, ref Objectives) float64 {
+	sort.Slice(pts, func(a, b int) bool { return pts[a][2] < pts[b][2] })
+	var hv float64
+	for i := 0; i < len(pts); i++ {
+		zTop := ref[2]
+		if i+1 < len(pts) {
+			zTop = pts[i+1][2]
+		}
+		dz := zTop - pts[i][2]
+		if dz <= 0 {
+			continue
+		}
+		slice := make([]Objectives, 0, i+1)
+		for j := 0; j <= i; j++ {
+			slice = append(slice, Objectives{pts[j][0], pts[j][1]})
+		}
+		hv += hv2(slice, Objectives{ref[0], ref[1]}) * dz
+	}
+	return hv
+}
+
+// Coverage returns the fraction of points in b that are weakly dominated
+// by (or equal to) some point of a — Zitzler's C(A, B) metric, used for
+// the Fig. 5 claim that the two-objective baseline covers only a small
+// fraction of the full model's tradeoffs.
+func Coverage(a, b []Point) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, q := range b {
+		for _, p := range a {
+			if Dominates(p.Objs, q.Objs) || equalObjs(p.Objs, q.Objs) {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(b))
+}

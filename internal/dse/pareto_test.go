@@ -1,0 +1,320 @@
+package dse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Objectives
+		want bool
+	}{
+		{Objectives{1, 1}, Objectives{2, 2}, true},
+		{Objectives{1, 2}, Objectives{2, 1}, false},
+		{Objectives{1, 1}, Objectives{1, 1}, false}, // equal: no strict improvement
+		{Objectives{1, 1}, Objectives{1, 2}, true},
+		{Objectives{2, 2}, Objectives{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Dominance must be a strict partial order: irreflexive, asymmetric,
+// transitive.
+func TestDominanceIsStrictPartialOrder(t *testing.T) {
+	gen := func(r *rand.Rand) Objectives {
+		o := make(Objectives, 3)
+		for i := range o {
+			o[i] = float64(r.Intn(5))
+		}
+		return o
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		if Dominates(a, a) {
+			return false // irreflexive
+		}
+		if Dominates(a, b) && Dominates(b, a) {
+			return false // asymmetric
+		}
+		if Dominates(a, b) && Dominates(b, c) && !Dominates(a, c) {
+			return false // transitive
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkPoints(objs ...[]float64) []Point {
+	pts := make([]Point, len(objs))
+	for i, o := range objs {
+		pts[i] = Point{Objs: o, Feasible: true}
+	}
+	return pts
+}
+
+func TestNonDominated(t *testing.T) {
+	pts := mkPoints(
+		[]float64{1, 5},
+		[]float64{2, 3},
+		[]float64{3, 4}, // dominated by {2,3}
+		[]float64{4, 1},
+		[]float64{2, 3}, // duplicate
+	)
+	front := NonDominated(pts)
+	if len(front) != 3 {
+		t.Fatalf("front size = %d, want 3: %v", len(front), front)
+	}
+	// Infeasible points never enter the front.
+	pts = append(pts, Point{Objs: Objectives{0, 0}, Feasible: false})
+	front = NonDominated(pts)
+	if len(front) != 3 {
+		t.Errorf("infeasible point entered the front")
+	}
+}
+
+// NonDominated must be idempotent and its output mutually non-dominated.
+func TestNonDominatedProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				Objs:     Objectives{float64(r.Intn(10)), float64(r.Intn(10))},
+				Feasible: r.Intn(5) > 0,
+			}
+		}
+		front := NonDominated(pts)
+		for i, p := range front {
+			for j, q := range front {
+				if i != j && Dominates(p.Objs, q.Objs) {
+					return false
+				}
+			}
+		}
+		again := NonDominated(front)
+		return len(again) == len(front)
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The incremental archive must agree with the batch filter.
+func TestArchiveMatchesBatchFilter(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		var arch Archive
+		var all []Point
+		for i := 0; i < n; i++ {
+			p := Point{
+				Objs:     Objectives{float64(r.Intn(8)), float64(r.Intn(8))},
+				Feasible: true,
+			}
+			arch.Add(p)
+			all = append(all, p)
+		}
+		batch := NonDominated(all)
+		if arch.Len() != len(batch) {
+			return false
+		}
+		// Same objective multisets.
+		seen := map[[2]float64]int{}
+		for _, p := range arch.Points() {
+			seen[[2]float64{p.Objs[0], p.Objs[1]}]++
+		}
+		for _, p := range batch {
+			seen[[2]float64{p.Objs[0], p.Objs[1]}]--
+		}
+		for _, v := range seen {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArchiveRejectsDuplicatesAndDominated(t *testing.T) {
+	var a Archive
+	if !a.Add(Point{Objs: Objectives{1, 1}, Feasible: true}) {
+		t.Error("first point rejected")
+	}
+	if a.Add(Point{Objs: Objectives{1, 1}, Feasible: true}) {
+		t.Error("duplicate accepted")
+	}
+	if a.Add(Point{Objs: Objectives{2, 2}, Feasible: true}) {
+		t.Error("dominated point accepted")
+	}
+	if a.Add(Point{Objs: Objectives{0, 0}, Feasible: false}) {
+		t.Error("infeasible point accepted")
+	}
+	if !a.Add(Point{Objs: Objectives{0, 2}, Feasible: true}) {
+		t.Error("incomparable point rejected")
+	}
+	if a.Len() != 2 {
+		t.Errorf("archive size = %d, want 2", a.Len())
+	}
+	// A dominating point evicts.
+	if !a.Add(Point{Objs: Objectives{0, 0}, Feasible: true}) {
+		t.Error("dominating point rejected")
+	}
+	if a.Len() != 1 {
+		t.Errorf("archive size after eviction = %d, want 1", a.Len())
+	}
+}
+
+func TestCrowdingDistance(t *testing.T) {
+	front := mkPoints(
+		[]float64{0, 4},
+		[]float64{1, 2},
+		[]float64{2, 1},
+		[]float64{4, 0},
+	)
+	d := CrowdingDistance(front)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[3], 1) {
+		t.Error("boundary points must have infinite crowding")
+	}
+	if d[1] <= 0 || d[2] <= 0 || math.IsInf(d[1], 1) {
+		t.Errorf("interior crowding: %v", d)
+	}
+	if got := CrowdingDistance(nil); len(got) != 0 {
+		t.Error("empty front")
+	}
+	// Identical objective values: no NaNs.
+	same := mkPoints([]float64{1, 1}, []float64{1, 1}, []float64{1, 1})
+	for _, v := range CrowdingDistance(same) {
+		if math.IsNaN(v) {
+			t.Error("NaN crowding on degenerate front")
+		}
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	front := mkPoints([]float64{1, 3}, []float64{2, 2}, []float64{3, 1})
+	// Reference (4,4): union of boxes = 3·1 + 1·... compute: sweep:
+	// (4-1)(4-3)=3, then (4-2)(3-2)=2, then (4-3)(2-1)=1 → 6.
+	got := Hypervolume(front, Objectives{4, 4})
+	if math.Abs(got-6) > 1e-12 {
+		t.Errorf("HV = %g, want 6", got)
+	}
+	// Dominated point adds nothing.
+	withDominated := append(front, Point{Objs: Objectives{3, 3}, Feasible: true})
+	if got2 := Hypervolume(withDominated, Objectives{4, 4}); math.Abs(got2-6) > 1e-12 {
+		t.Errorf("HV with dominated point = %g, want 6", got2)
+	}
+	// Points outside the reference box are ignored.
+	outside := append(front, Point{Objs: Objectives{5, 0}, Feasible: true})
+	if got3 := Hypervolume(outside, Objectives{4, 4}); math.Abs(got3-6) > 1e-12 {
+		t.Errorf("HV with outside point = %g, want 6", got3)
+	}
+	if got4 := Hypervolume(nil, Objectives{4, 4}); got4 != 0 {
+		t.Errorf("empty HV = %g", got4)
+	}
+}
+
+func TestHypervolume3D(t *testing.T) {
+	// A single point: box volume.
+	one := mkPoints([]float64{1, 1, 1})
+	if got := Hypervolume(one, Objectives{2, 2, 2}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("HV = %g, want 1", got)
+	}
+	// Two incomparable points: inclusion-exclusion by hand.
+	// a=(0,2,0), b=(2,0,2), ref=(3,3,3):
+	// vol(a)=3·1·3=9, vol(b)=1·3·1=3, overlap=(3-2)(3-2)(3-2)=1 → 11.
+	two := mkPoints([]float64{0, 2, 0}, []float64{2, 0, 2})
+	if got := Hypervolume(two, Objectives{3, 3, 3}); math.Abs(got-11) > 1e-12 {
+		t.Errorf("HV = %g, want 11", got)
+	}
+}
+
+// Hypervolume grows (weakly) when points are added.
+func TestHypervolumeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ref := Objectives{10, 10}
+		var pts []Point
+		prev := 0.0
+		for i := 0; i < 20; i++ {
+			pts = append(pts, Point{
+				Objs:     Objectives{r.Float64() * 10, r.Float64() * 10},
+				Feasible: true,
+			})
+			hv := Hypervolume(pts, ref)
+			if hv < prev-1e-12 {
+				return false
+			}
+			prev = hv
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypervolumePanicsOnHighDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("4-objective HV should panic")
+		}
+	}()
+	Hypervolume(mkPoints([]float64{1, 1, 1, 1}), Objectives{2, 2, 2, 2})
+}
+
+func TestCoverage(t *testing.T) {
+	a := mkPoints([]float64{1, 1})
+	b := mkPoints([]float64{2, 2}, []float64{0, 5})
+	if got := Coverage(a, b); got != 0.5 {
+		t.Errorf("C(a,b) = %g, want 0.5", got)
+	}
+	if got := Coverage(b, a); got != 0 {
+		t.Errorf("C(b,a) = %g, want 0", got)
+	}
+	if got := Coverage(a, nil); got != 0 {
+		t.Errorf("C(a,∅) = %g, want 0", got)
+	}
+	// Equal points count as covered.
+	if got := Coverage(a, mkPoints([]float64{1, 1})); got != 1 {
+		t.Errorf("C(a,a) = %g, want 1", got)
+	}
+}

@@ -1,0 +1,85 @@
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Result is the outcome of a search: the non-dominated front over every
+// feasible point the algorithm evaluated, plus bookkeeping.
+type Result struct {
+	Front      []Point
+	Evaluated  int // distinct configurations evaluated
+	Infeasible int // of those, how many violated constraints
+}
+
+// memoEvaluator wraps an Evaluator with a cache so searches never pay for
+// re-visited configurations and the Evaluated count means distinct points.
+type memoEvaluator struct {
+	inner      Evaluator
+	cache      map[string]Point
+	evaluated  int
+	infeasible int
+}
+
+func newMemo(e Evaluator) *memoEvaluator {
+	return &memoEvaluator{inner: e, cache: make(map[string]Point)}
+}
+
+func (m *memoEvaluator) eval(c Config) Point {
+	key := c.Key()
+	if p, ok := m.cache[key]; ok {
+		return p
+	}
+	objs, err := m.inner.Evaluate(c)
+	p := Point{Config: c.Clone(), Objs: objs, Feasible: err == nil}
+	m.evaluated++
+	if err != nil {
+		m.infeasible++
+	}
+	m.cache[key] = p
+	return p
+}
+
+// Exhaustive enumerates the whole space. It refuses spaces larger than
+// maxPoints to protect callers from accidental 10¹¹-point sweeps.
+func Exhaustive(space *Space, eval Evaluator, maxPoints int) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if size := space.Size(); size > float64(maxPoints) {
+		return nil, fmt.Errorf("dse: space has %.3g points, exhaustive limit is %d", size, maxPoints)
+	}
+	var arch Archive
+	evaluated, infeasible := 0, 0
+	space.Iterate(func(c Config) bool {
+		objs, err := eval.Evaluate(c)
+		evaluated++
+		if err != nil {
+			infeasible++
+			return true
+		}
+		arch.Add(Point{Config: c.Clone(), Objs: objs, Feasible: true})
+		return true
+	})
+	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
+}
+
+// RandomSearch evaluates `budget` uniform random configurations — the
+// reference any metaheuristic must beat.
+func RandomSearch(space *Space, eval Evaluator, budget int, seed int64) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("dse: budget %d must be positive", budget)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	memo := newMemo(eval)
+	var arch Archive
+	for i := 0; i < budget; i++ {
+		p := memo.eval(space.Random(rng))
+		arch.Add(p)
+	}
+	return &Result{Front: arch.Points(), Evaluated: memo.evaluated, Infeasible: memo.infeasible}, nil
+}

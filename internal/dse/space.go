@@ -1,0 +1,164 @@
+// Package dse provides the multi-objective design-space exploration layer:
+// discrete design spaces, Pareto machinery (dominance, fronts, crowding,
+// hypervolume, coverage), and the search algorithms the paper plugs its
+// model into — a genetic algorithm (NSGA-II), multi-objective simulated
+// annealing (after Nam & Park [27]), plus exhaustive and random search as
+// references.
+//
+// Everything is deterministic under a caller-provided seed, and evaluators
+// signal constraint violations (infeasible configurations) so the
+// algorithms can apply constrained dominance instead of aborting.
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Parameter is one discrete design knob: a name and its admissible values.
+// Values carry float64 payloads; evaluators interpret them (they may be
+// indices, frequencies, ratios...).
+type Parameter struct {
+	Name   string
+	Values []float64
+}
+
+// Space is a cartesian product of parameters.
+type Space struct {
+	Params []Parameter
+}
+
+// Validate checks that every parameter has at least one value.
+func (s *Space) Validate() error {
+	if len(s.Params) == 0 {
+		return fmt.Errorf("dse: empty design space")
+	}
+	for i, p := range s.Params {
+		if len(p.Values) == 0 {
+			return fmt.Errorf("dse: parameter %d (%s) has no values", i, p.Name)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of points in the space as a float64 (spaces
+// routinely exceed int ranges; the case study's has ~10¹¹ points).
+func (s *Space) Size() float64 {
+	size := 1.0
+	for _, p := range s.Params {
+		size *= float64(len(p.Values))
+	}
+	return size
+}
+
+// Config is one design point: an index into each parameter's value list.
+type Config []int
+
+// Clone copies the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// Key returns a compact map key for memoization.
+func (c Config) Key() string {
+	b := make([]byte, 0, len(c)*3)
+	for _, v := range c {
+		b = append(b, byte(v), byte(v>>8), '|')
+	}
+	return string(b)
+}
+
+// Value resolves parameter i of the configuration.
+func (s *Space) Value(c Config, i int) float64 {
+	return s.Params[i].Values[c[i]]
+}
+
+// Valid reports whether c indexes the space correctly.
+func (s *Space) Valid(c Config) bool {
+	if len(c) != len(s.Params) {
+		return false
+	}
+	for i, v := range c {
+		if v < 0 || v >= len(s.Params[i].Values) {
+			return false
+		}
+	}
+	return true
+}
+
+// Random draws a uniform configuration.
+func (s *Space) Random(rng *rand.Rand) Config {
+	c := make(Config, len(s.Params))
+	for i := range c {
+		c[i] = rng.Intn(len(s.Params[i].Values))
+	}
+	return c
+}
+
+// Mutate flips each gene with the given probability to a uniformly chosen
+// value, returning a new configuration.
+func (s *Space) Mutate(rng *rand.Rand, c Config, perGeneProb float64) Config {
+	out := c.Clone()
+	for i := range out {
+		if rng.Float64() < perGeneProb {
+			out[i] = rng.Intn(len(s.Params[i].Values))
+		}
+	}
+	return out
+}
+
+// Neighbor nudges exactly one randomly chosen gene by ±1 (wrapping at the
+// ends), the canonical simulated-annealing move on a discrete grid.
+func (s *Space) Neighbor(rng *rand.Rand, c Config) Config {
+	out := c.Clone()
+	i := rng.Intn(len(out))
+	n := len(s.Params[i].Values)
+	if n == 1 {
+		return out
+	}
+	if rng.Intn(2) == 0 {
+		out[i] = (out[i] + 1) % n
+	} else {
+		out[i] = (out[i] - 1 + n) % n
+	}
+	return out
+}
+
+// Crossover performs uniform crossover between two parents.
+func (s *Space) Crossover(rng *rand.Rand, a, b Config) Config {
+	out := make(Config, len(a))
+	for i := range out {
+		if rng.Intn(2) == 0 {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// Iterate enumerates the whole space in lexicographic order, stopping when
+// fn returns false. Only sensible for small (test-sized) spaces.
+func (s *Space) Iterate(fn func(Config) bool) {
+	c := make(Config, len(s.Params))
+	for {
+		if !fn(c) {
+			return
+		}
+		// Odometer increment.
+		i := len(c) - 1
+		for i >= 0 {
+			c[i]++
+			if c[i] < len(s.Params[i].Values) {
+				break
+			}
+			c[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package dwt
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWaveletFiltersOrthonormal(t *testing.T) {
+	for _, w := range []Wavelet{Haar(), Daubechies4()} {
+		var hh, gg, hg float64
+		for i := range w.h {
+			hh += w.h[i] * w.h[i]
+			gg += w.g[i] * w.g[i]
+			hg += w.h[i] * w.g[i]
+		}
+		if math.Abs(hh-1) > 1e-12 || math.Abs(gg-1) > 1e-12 {
+			t.Errorf("%s: filter norms h=%g g=%g, want 1", w.Name(), hh, gg)
+		}
+		if math.Abs(hg) > 1e-12 {
+			t.Errorf("%s: h·g = %g, want 0", w.Name(), hg)
+		}
+		// The scaling filter must sum to √2 (preserves DC).
+		var sum float64
+		for _, v := range w.h {
+			sum += v
+		}
+		if math.Abs(sum-math.Sqrt2) > 1e-12 {
+			t.Errorf("%s: Σh = %g, want √2", w.Name(), sum)
+		}
+	}
+}
+
+func TestForwardInversePerfectReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, w := range []Wavelet{Haar(), Daubechies4()} {
+		for _, n := range []int{8, 16, 64, 512} {
+			for levels := 1; levels <= w.MaxLevels(n); levels++ {
+				x := make([]float64, n)
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				c, err := Forward(w, x, levels)
+				if err != nil {
+					t.Fatalf("%s n=%d L=%d: Forward: %v", w.Name(), n, levels, err)
+				}
+				y, err := Inverse(w, c, levels)
+				if err != nil {
+					t.Fatalf("%s n=%d L=%d: Inverse: %v", w.Name(), n, levels, err)
+				}
+				for i := range x {
+					if math.Abs(x[i]-y[i]) > 1e-10 {
+						t.Fatalf("%s n=%d L=%d: sample %d: %g vs %g",
+							w.Name(), n, levels, i, x[i], y[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property-based variant: random signals of random dyadic-compatible sizes
+// reconstruct exactly, and the transform preserves energy (Parseval).
+func TestTransformProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := Daubechies4()
+		if seed%2 == 0 {
+			w = Haar()
+		}
+		n := 1 << (3 + rng.Intn(6)) // 8..256
+		levels := 1 + rng.Intn(w.MaxLevels(n))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		c, err := Forward(w, x, levels)
+		if err != nil {
+			return false
+		}
+		// Parseval: orthonormal transform preserves the 2-norm.
+		var ex, ec float64
+		for i := range x {
+			ex += x[i] * x[i]
+			ec += c[i] * c[i]
+		}
+		if math.Abs(ex-ec) > 1e-8*math.Max(1, ex) {
+			return false
+		}
+		y, err := Inverse(w, c, levels)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardConstantSignal(t *testing.T) {
+	// A constant signal concentrates all energy in the deepest
+	// approximation band; every detail coefficient is (numerically) zero.
+	w := Daubechies4()
+	n, levels := 64, 3
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2.5
+	}
+	c, err := Forward(w, x, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := BandBounds(n, levels)
+	for _, b := range bounds[1:] { // all detail bands
+		for i := b[0]; i < b[1]; i++ {
+			if math.Abs(c[i]) > 1e-10 {
+				t.Fatalf("detail coefficient %d = %g, want ~0", i, c[i])
+			}
+		}
+	}
+	// Approximation carries the full energy n·2.5².
+	var e float64
+	for i := bounds[0][0]; i < bounds[0][1]; i++ {
+		e += c[i] * c[i]
+	}
+	if math.Abs(e-float64(n)*2.5*2.5) > 1e-8 {
+		t.Errorf("approximation energy %g, want %g", e, float64(n)*2.5*2.5)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	w := Haar()
+	if _, err := Forward(w, make([]float64, 12), 3); err == nil {
+		t.Error("n=12, L=3: want divisibility error")
+	}
+	if _, err := Forward(w, make([]float64, 16), 0); err == nil {
+		t.Error("L=0: want error")
+	}
+	if _, err := Forward(w, nil, 1); err == nil {
+		t.Error("empty block: want error")
+	}
+	if _, err := Inverse(w, make([]float64, 12), 3); err == nil {
+		t.Error("Inverse n=12, L=3: want error")
+	}
+	// Too-deep decomposition for db4: 8 samples at 3 levels leaves a
+	// 1-sample approximation, shorter than the 4-tap filter.
+	if _, err := Forward(Daubechies4(), make([]float64, 8), 3); err == nil {
+		t.Error("too-deep db4 decomposition: want error")
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	if got := Haar().MaxLevels(8); got != 2 {
+		t.Errorf("haar MaxLevels(8) = %d, want 2", got)
+	}
+	if got := Daubechies4().MaxLevels(512); got != 7 {
+		t.Errorf("db4 MaxLevels(512) = %d, want 7", got)
+	}
+	if got := Daubechies4().MaxLevels(4); got != 0 {
+		t.Errorf("db4 MaxLevels(4) = %d, want 0", got)
+	}
+}
+
+func TestBandBoundsPartitions(t *testing.T) {
+	n, levels := 64, 3
+	bounds := BandBounds(n, levels)
+	if len(bounds) != levels+1 {
+		t.Fatalf("got %d bands, want %d", len(bounds), levels+1)
+	}
+	pos := 0
+	for _, b := range bounds {
+		if b[0] != pos {
+			t.Errorf("band start %d, want %d", b[0], pos)
+		}
+		pos = b[1]
+	}
+	if pos != n {
+		t.Errorf("bands end at %d, want %d", pos, n)
+	}
+	if bounds[0][1] != n>>levels {
+		t.Errorf("approx band length %d, want %d", bounds[0][1], n>>levels)
+	}
+}
+
+func TestWaveletByID(t *testing.T) {
+	for _, w := range []Wavelet{Haar(), Daubechies4()} {
+		got, err := waveletByID(w.id())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name() != w.Name() {
+			t.Errorf("round trip %s → %s", w.Name(), got.Name())
+		}
+	}
+	if _, err := waveletByID(42); err == nil {
+		t.Error("unknown id: want error")
+	}
+}

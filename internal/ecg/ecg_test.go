@@ -1,0 +1,130 @@
+package ecg
+
+import (
+	"math"
+	"testing"
+
+	"wsndse/internal/numeric"
+)
+
+func TestNewGeneratorValidation(t *testing.T) {
+	bad := []Config{
+		{SampleRate: 0, HeartRate: 60},
+		{SampleRate: 250, HeartRate: 0},
+		{SampleRate: 250, HeartRate: 60, RRStdDev: -1},
+		{SampleRate: 250, HeartRate: 60, NoiseStdDev: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("case %d: want validation error for %+v", i, cfg)
+		}
+	}
+	if _, err := NewGenerator(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(DefaultConfig())
+	g2, _ := NewGenerator(DefaultConfig())
+	a := g1.Generate(1000)
+	b := g2.Generate(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	g3, _ := NewGenerator(cfg)
+	c := g3.Generate(1000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateEdgeCases(t *testing.T) {
+	g, _ := NewGenerator(DefaultConfig())
+	if got := g.Generate(0); got != nil {
+		t.Errorf("Generate(0) = %v, want nil", got)
+	}
+	if got := g.Generate(-5); got != nil {
+		t.Errorf("Generate(-5) = %v, want nil", got)
+	}
+	if got := g.Generate(1); len(got) != 1 {
+		t.Errorf("Generate(1) len = %d", len(got))
+	}
+}
+
+// TestGenerateMorphology checks the structural ECG properties the codecs
+// rely on: R peaks of roughly 1 mV occurring at roughly the configured
+// heart rate, and bounded overall amplitude.
+func TestGenerateMorphology(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseStdDev = 0 // cleaner peak detection
+	cfg.BaselineAmp = 0
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 20.0 // seconds
+	n := int(dur * cfg.SampleRate)
+	x := g.Generate(n)
+
+	min, max := numeric.MinMax(x)
+	if max < 0.8 || max > 1.4 {
+		t.Errorf("R peak amplitude %.3f mV, want ~1.05", max)
+	}
+	if min > -0.1 || min < -0.6 {
+		t.Errorf("deepest trough %.3f mV, want S-wave depth around -0.25", min)
+	}
+
+	// Count R peaks: local maxima above 0.5 mV.
+	peaks := 0
+	for i := 1; i < n-1; i++ {
+		if x[i] > 0.5 && x[i] >= x[i-1] && x[i] > x[i+1] {
+			peaks++
+		}
+	}
+	wantBeats := cfg.HeartRate / 60 * dur
+	if math.Abs(float64(peaks)-wantBeats) > wantBeats*0.15 {
+		t.Errorf("detected %d R peaks in %gs, want ≈%.0f", peaks, dur, wantBeats)
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	g, _ := NewGenerator(DefaultConfig())
+	blocks := g.Corpus(4, 512)
+	if len(blocks) != 4 {
+		t.Fatalf("Corpus returned %d blocks", len(blocks))
+	}
+	for i, b := range blocks {
+		if len(b) != 512 {
+			t.Errorf("block %d has %d samples", i, len(b))
+		}
+	}
+	// Blocks must be consecutive segments of one trace: regenerating the
+	// full trace with the same seed must match the concatenation.
+	g2, _ := NewGenerator(DefaultConfig())
+	full := g2.Generate(4 * 512)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 512; j++ {
+			if blocks[i][j] != full[i*512+j] {
+				t.Fatalf("block %d sample %d differs from contiguous trace", i, j)
+			}
+		}
+	}
+	if got := g.Corpus(0, 512); got != nil {
+		t.Error("Corpus(0, …) should be nil")
+	}
+	if got := g.Corpus(2, 0); got != nil {
+		t.Error("Corpus(…, 0) should be nil")
+	}
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"io"
+
+	"wsndse/internal/sim"
+)
+
+// writer is the rendering sink used by every experiment.
+type writer = io.Writer
+
+// runSim is a seam for the simulator call (overridable in tests).
+var runSim = sim.Run

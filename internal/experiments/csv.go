@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the Figure 3 grid as machine-readable rows for plotting.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "fuc_hz", "cr", "model_w", "measured_w", "err_pct", "infeasible"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Kind.String(),
+			f(float64(row.MicroFreq)),
+			f(row.CR),
+			f(float64(row.Model)),
+			f(float64(row.Measured)),
+			f(row.ErrPct),
+			strconv.FormatBool(row.Infeasible),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 4 sweep.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "cr", "measured_prd", "estimated_prd", "abs_err"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{row.Kind.String(), f(row.CR), f(row.Measured), f(row.Estimated), f(row.AbsErr)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits every delay-validation sample.
+func (r *DelayValResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"run", "node", "bound_s", "measured_s", "over_s"}); err != nil {
+		return err
+	}
+	for _, s := range r.Samples {
+		rec := []string{
+			strconv.Itoa(s.Run), strconv.Itoa(s.Node),
+			f(float64(s.Bound)), f(float64(s.Measured)), f(float64(s.Over)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits both Figure 5 fronts in the shared three-objective space,
+// tagged by origin, ready for the paper's three scatter projections.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"front", "energy_w", "prd_pct", "delay_s"}); err != nil {
+		return err
+	}
+	emit := func(tag string, objs []float64) error {
+		return cw.Write([]string{tag, f(objs[0]), f(objs[1]), f(objs[2])})
+	}
+	for _, p := range r.FullFront {
+		if err := emit("full", p.Objs); err != nil {
+			return err
+		}
+	}
+	for _, p := range r.BaselineFront {
+		if err := emit("baseline", p.Objs); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string {
+	return fmt.Sprintf("%.8g", v)
+}

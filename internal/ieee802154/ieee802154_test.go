@@ -1,0 +1,162 @@
+package ieee802154
+
+import (
+	"math"
+	"testing"
+
+	"wsndse/internal/units"
+)
+
+func TestBaseTimings(t *testing.T) {
+	// The paper's Figure 2 annotates SD = 15.36 ms · 2^SFO and
+	// BI = 15.36 ms · 2^BCO.
+	base := SuperframeConfig{BeaconOrder: 0, SuperframeOrder: 0}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.BeaconInterval(); math.Abs(float64(got)-15.36e-3) > 1e-12 {
+		t.Errorf("BI at BO=0 = %v, want 15.36ms", got)
+	}
+	if got := base.SuperframeDuration(); math.Abs(float64(got)-15.36e-3) > 1e-12 {
+		t.Errorf("SD at SO=0 = %v, want 15.36ms", got)
+	}
+	c := SuperframeConfig{BeaconOrder: 3, SuperframeOrder: 1}
+	if got, want := float64(c.BeaconInterval()), 15.36e-3*8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("BI at BO=3 = %g, want %g", got, want)
+	}
+	if got, want := float64(c.SuperframeDuration()), 15.36e-3*2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SD at SO=1 = %g, want %g", got, want)
+	}
+	if got, want := float64(c.SlotDuration()), 15.36e-3*2/16; math.Abs(got-want) > 1e-15 {
+		t.Errorf("slot at SO=1 = %g, want %g", got, want)
+	}
+	if got, want := float64(c.InactiveDuration()), 15.36e-3*6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("inactive = %g, want %g", got, want)
+	}
+	if got, want := c.DutyCycle(), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("duty cycle = %g, want %g", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []SuperframeConfig{
+		{BeaconOrder: 2, SuperframeOrder: 3},   // SO > BO
+		{BeaconOrder: 15, SuperframeOrder: 0},  // BO > 14
+		{BeaconOrder: 3, SuperframeOrder: -1},  // negative
+		{BeaconOrder: -1, SuperframeOrder: -1}, // negative
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+	good := []SuperframeConfig{
+		{0, 0}, {14, 14}, {14, 0}, {5, 3},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %+v should be valid: %v", c, err)
+		}
+	}
+}
+
+func TestSymbolArithmetic(t *testing.T) {
+	if got := Symbols(62500); got != 1 {
+		t.Errorf("62500 symbols = %v, want 1s", got)
+	}
+	if got := float64(SymbolDuration); math.Abs(got-16e-6) > 1e-18 {
+		t.Errorf("symbol duration = %g, want 16µs", got)
+	}
+	if BitRate != 250000 {
+		t.Errorf("bit rate = %v, want 250kbit/s", BitRate)
+	}
+	// aBaseSuperframeDuration = 960 symbols = 15.36 ms.
+	if got := float64(Symbols(ABaseSuperframeDuration)); math.Abs(got-15.36e-3) > 1e-12 {
+		t.Errorf("base superframe = %g, want 15.36ms", got)
+	}
+}
+
+func TestFrameGeometry(t *testing.T) {
+	// The paper counts 13 bytes of MAC overhead (11 header + 2 FCS) and
+	// a 4-byte acknowledgement.
+	if MACOverheadBytes != 13 {
+		t.Errorf("MAC overhead = %d, want 13", MACOverheadBytes)
+	}
+	if AckBytes != 4 {
+		t.Errorf("ack = %d, want 4", AckBytes)
+	}
+	if MaxDataPayload != 114 {
+		t.Errorf("max payload = %d, want 114", MaxDataPayload)
+	}
+	if got := DataFrameAirBytes(100); got != 100+13+6 {
+		t.Errorf("air bytes(100) = %d, want 119", got)
+	}
+	// 119 bytes at 250 kbit/s = 3.808 ms.
+	if got := float64(DataFrameAirTime(100)); math.Abs(got-119.0*8/250000) > 1e-15 {
+		t.Errorf("air time = %g", got)
+	}
+	if got := float64(AckAirTime()); math.Abs(got-10.0*8/250000) > 1e-15 {
+		t.Errorf("ack air time = %g, want 320µs", got)
+	}
+}
+
+func TestBeaconGeometry(t *testing.T) {
+	if got := BeaconBytes(0); got != BeaconBaseBytes {
+		t.Errorf("beacon(0 GTS) = %d", got)
+	}
+	if got := BeaconBytes(6); got != BeaconBaseBytes+18 {
+		t.Errorf("beacon(6 GTS) = %d, want %d", got, BeaconBaseBytes+18)
+	}
+	if BeaconAirTime(6) <= BeaconAirTime(0) {
+		t.Error("beacon air time should grow with GTS count")
+	}
+}
+
+func TestIFS(t *testing.T) {
+	short := IFS(18)
+	long := IFS(19)
+	if short != Symbols(AMinSIFSSymbols) {
+		t.Errorf("SIFS = %v", short)
+	}
+	if long != Symbols(AMinLIFSSymbols) {
+		t.Errorf("LIFS = %v", long)
+	}
+	if long <= short {
+		t.Error("LIFS must exceed SIFS")
+	}
+	if got := float64(Turnaround()); math.Abs(got-192e-6) > 1e-12 {
+		t.Errorf("turnaround = %g, want 192µs", got)
+	}
+}
+
+func TestGTSCapacity(t *testing.T) {
+	// The paper's constraint: Σ Δtx ≤ 7/16 · SD/BI.
+	c := SuperframeConfig{BeaconOrder: 2, SuperframeOrder: 1}
+	want := 7.0 / 16 * float64(c.SuperframeDuration()) / float64(c.BeaconInterval())
+	if got := c.GTSCapacityPerSecond(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("GTS capacity = %g, want %g", got, want)
+	}
+	// The per-second slot quantum times 7 equals the capacity.
+	if got := 7 * c.SlotPerSecond(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("7 slots/s = %g, want %g", got, want)
+	}
+}
+
+func TestAirTimeLinear(t *testing.T) {
+	a := AirTime(10)
+	b := AirTime(20)
+	if math.Abs(float64(b)-2*float64(a)) > 1e-18 {
+		t.Error("air time must be linear in bytes")
+	}
+	var zero units.Seconds
+	if AirTime(0) != zero {
+		t.Error("0 bytes take 0 time")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	s := SuperframeConfig{BeaconOrder: 6, SuperframeOrder: 2}.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,122 @@
+// Package numeric provides the small numerical toolkit the library needs:
+// polynomial evaluation and least-squares fitting, dense linear system
+// solving, and descriptive statistics.
+//
+// The paper estimates the application quality metric (PRD) with fifth-order
+// polynomials fit to measured data (§4.3); PolyFit reproduces that
+// calibration step. Everything here is dependency-free and deterministic.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Poly is a polynomial stored as coefficients in ascending-degree order:
+// Poly{a0, a1, a2} represents a0 + a1·x + a2·x².
+type Poly []float64
+
+// Eval evaluates the polynomial at x using Horner's scheme.
+func (p Poly) Eval(x float64) float64 {
+	y := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		y = y*x + p[i]
+	}
+	return y
+}
+
+// Degree returns the degree of the polynomial (len-1), or -1 for an empty
+// polynomial.
+func (p Poly) Degree() int { return len(p) - 1 }
+
+// Derivative returns the first derivative of p.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return Poly{0}
+	}
+	d := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		d[i-1] = float64(i) * p[i]
+	}
+	return d
+}
+
+// String renders the polynomial in human-readable ascending form.
+func (p Poly) String() string {
+	if len(p) == 0 {
+		return "0"
+	}
+	s := ""
+	for i, c := range p {
+		if i == 0 {
+			s = fmt.Sprintf("%.6g", c)
+			continue
+		}
+		s += fmt.Sprintf(" %+.6g·x^%d", c, i)
+	}
+	return s
+}
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("numeric: singular system")
+
+// PolyFit computes the least-squares polynomial of the given degree through
+// the points (xs[i], ys[i]). It solves the normal equations VᵀV a = Vᵀy
+// with Gaussian elimination and partial pivoting, which is well-conditioned
+// enough for the low degrees (≤ 8) and narrow abscissa ranges used here.
+//
+// It returns an error when fewer than degree+1 points are supplied or when
+// the system is singular (for example, all xs identical).
+func PolyFit(xs, ys []float64, degree int) (Poly, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("numeric: PolyFit: len(xs)=%d len(ys)=%d", len(xs), len(ys))
+	}
+	if degree < 0 {
+		return nil, fmt.Errorf("numeric: PolyFit: negative degree %d", degree)
+	}
+	n := degree + 1
+	if len(xs) < n {
+		return nil, fmt.Errorf("numeric: PolyFit: need at least %d points for degree %d, got %d", n, degree, len(xs))
+	}
+	// Accumulate the normal equations directly: A[i][j] = Σ x^(i+j),
+	// b[i] = Σ y·x^i. Powers up to 2·degree are required.
+	pow := make([]float64, 2*degree+1)
+	b := make([]float64, n)
+	a := NewMatrix(n, n)
+	for k := range xs {
+		x, y := xs[k], ys[k]
+		xp := 1.0
+		for i := range pow {
+			pow[i] += xp
+			if i < n {
+				b[i] += y * xp
+			}
+			xp *= x
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, pow[i+j])
+		}
+	}
+	coef, err := a.Solve(b)
+	if err != nil {
+		return nil, err
+	}
+	return Poly(coef), nil
+}
+
+// PolyFitResidual returns the root-mean-square residual of the fit p over
+// the points (xs, ys). Useful for reporting calibration quality.
+func PolyFitResidual(p Poly, xs, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var ss float64
+	for i := range xs {
+		d := ys[i] - p.Eval(xs[i])
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}

@@ -1,0 +1,122 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %g, want 4", got)
+	}
+}
+
+func TestSampleStdDev(t *testing.T) {
+	if got := SampleStdDev([]float64{5}); got != 0 {
+		t.Errorf("single sample stddev = %g, want 0", got)
+	}
+	// Known value: {2, 4, 4, 4, 5, 5, 7, 9} has sample stddev ≈ 2.138.
+	got := SampleStdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("stddev = %g, want ≈2.138", got)
+	}
+}
+
+func TestSampleStdDevNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		return SampleStdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%g, %g), want (-1, 7)", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(empty) should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %g", got)
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 25); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("interpolated percentile = %g, want 2.5", got)
+	}
+	// Percentile must not reorder its input.
+	unsorted := []float64{9, 1, 5}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 9 || unsorted[1] != 1 || unsorted[2] != 5 {
+		t.Error("Percentile modified its input")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(101, 100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("RelErr = %g, want 1", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0,0) = %g, want 0", got)
+	}
+	if got := RelErr(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelErr(1,0) = %g, want +Inf", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp high = %g", got)
+	}
+	if got := Clamp(-2, 0, 3); got != 0 {
+		t.Errorf("Clamp low = %g", got)
+	}
+	if got := Clamp(1.5, 0, 3); got != 1.5 {
+		t.Errorf("Clamp inside = %g", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Errorf("Linspace[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+	if xs[len(xs)-1] != 1 {
+		t.Error("Linspace endpoint must be exact")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Linspace(n<2) should panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}

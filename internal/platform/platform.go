@@ -1,0 +1,163 @@
+// Package platform characterizes the node hardware of the case study: a
+// Shimmer-class wearable built around an MSP430-class microcontroller, a
+// 10 kB RAM, an ECG analog front end with a 12-bit ADC, and a CC2420-class
+// 802.15.4 radio (§4.3, [24]).
+//
+// Each component model matches one equation of the paper's node model
+// (§3.3): SensorModel is Eq. 3, MicroModel is Eq. 4, MemoryModel is Eq. 5.
+// All powers are per-second energies (watts); coefficients are the kind a
+// designer obtains by calibrating against bench measurements, and the
+// shipped defaults are one such calibration.
+package platform
+
+import (
+	"fmt"
+
+	"wsndse/internal/radio"
+	"wsndse/internal/units"
+)
+
+// SensorModel is the sensing-chain energy model of Eq. 3:
+//
+//	E_sensor = E_transducer + [α_s1·f_s + α_s0]
+//
+// TransducerPower is the analog front end's constant draw; Alpha1 (joules
+// per sample) and Alpha0 (watts) capture the A/D converter's linear
+// dependence on the sampling frequency.
+type SensorModel struct {
+	TransducerPower units.Watts
+	Alpha1          units.Joules // per sample
+	Alpha0          units.Watts
+}
+
+// Power evaluates Eq. 3 at sampling frequency fs.
+func (s SensorModel) Power(fs units.Hertz) units.Watts {
+	return s.TransducerPower + units.Watts(float64(s.Alpha1)*float64(fs)) + s.Alpha0
+}
+
+// MicroModel is the microcontroller energy model of Eq. 4:
+//
+//	E_µC = Duty_app · [α_µC1·f_µC + α_µC0]
+//
+// Alpha1 is the switching energy per cycle (joules/cycle ≡ W/Hz) and
+// Alpha0 the frequency-independent active overhead.
+type MicroModel struct {
+	Alpha1 units.Joules // per cycle
+	Alpha0 units.Watts
+}
+
+// ActivePower is the draw while executing at frequency f.
+func (m MicroModel) ActivePower(f units.Hertz) units.Watts {
+	return units.Watts(float64(m.Alpha1)*float64(f)) + m.Alpha0
+}
+
+// Power evaluates Eq. 4 for an application occupying the given duty cycle
+// at frequency f. Duty cycles above 1 are physically impossible; callers
+// (the node model) treat them as infeasible configurations before getting
+// here, so Power simply evaluates the formula.
+func (m MicroModel) Power(duty float64, f units.Hertz) units.Watts {
+	return units.Watts(duty * float64(m.ActivePower(f)))
+}
+
+// MemoryModel is the memory energy model of Eq. 5:
+//
+//	E_mem = γ_app·T_mem·E_acc + (1 − γ_app·T_mem)·8·M_app·E_bitidle
+//
+// AccessTime (T_mem) and AccessPower (the draw during an access window,
+// E_acc) form the dynamic term; BitIdlePower (E_bitidle) is the per-bit
+// retention leakage that applies whenever the memory is not being accessed.
+type MemoryModel struct {
+	AccessTime   units.Seconds
+	AccessPower  units.Watts
+	BitIdlePower units.Watts // per bit
+	SizeBytes    int
+}
+
+// Power evaluates Eq. 5 for an application performing accessesPerSecond
+// memory accesses and occupying appBytes of memory.
+func (mm MemoryModel) Power(accessesPerSecond, appBytes float64) units.Watts {
+	activeFrac := accessesPerSecond * float64(mm.AccessTime)
+	if activeFrac > 1 {
+		activeFrac = 1 // memory saturated; cannot be busier than always-on
+	}
+	dynamic := activeFrac * float64(mm.AccessPower)
+	leak := (1 - activeFrac) * 8 * appBytes * float64(mm.BitIdlePower)
+	return units.Watts(dynamic + leak)
+}
+
+// Platform bundles the hardware of one node type.
+type Platform struct {
+	Name   string
+	Sensor SensorModel
+	Micro  MicroModel
+	Memory MemoryModel
+	Radio  radio.Chip
+
+	ADCBits int // sample resolution (L_adc = ADCBits/8 bytes)
+
+	// MicroFreqs lists the selectable microcontroller frequencies — the
+	// f_µC axis of the design space.
+	MicroFreqs []units.Hertz
+}
+
+// Shimmer returns the default case-study platform. The microcontroller
+// frequency grid covers the 1 MHz and 8 MHz points of the paper's Figure 3
+// plus the intermediate DCO settings of MSP430-class parts.
+func Shimmer() Platform {
+	return Platform{
+		Name: "shimmer",
+		Sensor: SensorModel{
+			TransducerPower: 1.35e-3, // ECG front end
+			Alpha1:          3.2e-6,  // J per 12-bit conversion
+			Alpha0:          0.12e-3,
+		},
+		Micro: MicroModel{
+			Alpha1: 0.726e-9, // ≈ 242 µA/MHz at 3 V, MSP430-class
+			Alpha0: 0.21e-3,
+		},
+		Memory: MemoryModel{
+			AccessTime:   100e-9,
+			AccessPower:  0.9e-3,
+			BitIdlePower: 12e-12,
+			SizeBytes:    10 * 1024, // the Shimmer's 10 kB RAM
+		},
+		Radio:   radio.DefaultCC2420(),
+		ADCBits: 12,
+		MicroFreqs: []units.Hertz{
+			1e6, 2e6, 4e6, 8e6, 16e6,
+		},
+	}
+}
+
+// Validate checks the platform for physical plausibility.
+func (p Platform) Validate() error {
+	if p.ADCBits < 1 || p.ADCBits > 24 {
+		return fmt.Errorf("platform: %s: ADC bits %d out of range", p.Name, p.ADCBits)
+	}
+	if p.Sensor.TransducerPower < 0 || p.Sensor.Alpha1 < 0 || p.Sensor.Alpha0 < 0 {
+		return fmt.Errorf("platform: %s: negative sensor coefficients", p.Name)
+	}
+	if p.Micro.Alpha1 <= 0 {
+		return fmt.Errorf("platform: %s: µC per-cycle energy must be positive", p.Name)
+	}
+	if p.Memory.SizeBytes <= 0 || p.Memory.AccessTime <= 0 {
+		return fmt.Errorf("platform: %s: memory model incomplete", p.Name)
+	}
+	if len(p.MicroFreqs) == 0 {
+		return fmt.Errorf("platform: %s: no microcontroller frequencies", p.Name)
+	}
+	for _, f := range p.MicroFreqs {
+		if f <= 0 {
+			return fmt.Errorf("platform: %s: non-positive µC frequency %v", p.Name, f)
+		}
+	}
+	return p.Radio.Validate()
+}
+
+// SampleBytes returns L_adc in bytes (possibly fractional: 12 bits = 1.5).
+func (p Platform) SampleBytes() float64 { return float64(p.ADCBits) / 8 }
+
+// InputRate returns φ_in = f_s · L_adc in bytes per second.
+func (p Platform) InputRate(fs units.Hertz) units.BytesPerSecond {
+	return units.BytesPerSecond(float64(fs) * p.SampleBytes())
+}

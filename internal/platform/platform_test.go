@@ -1,0 +1,128 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"wsndse/internal/units"
+)
+
+func TestShimmerValid(t *testing.T) {
+	p := Shimmer()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default platform invalid: %v", err)
+	}
+	// The case study's φ_in: 250 Hz × 12 bit = 375 B/s.
+	if got := p.InputRate(250); got != 375 {
+		t.Errorf("InputRate(250Hz) = %v, want 375 B/s", got)
+	}
+	if got := p.SampleBytes(); got != 1.5 {
+		t.Errorf("SampleBytes = %g, want 1.5", got)
+	}
+	// The paper's 1 MHz and 8 MHz operating points must be available.
+	has := map[units.Hertz]bool{}
+	for _, f := range p.MicroFreqs {
+		has[f] = true
+	}
+	if !has[1e6] || !has[8e6] {
+		t.Errorf("frequency grid %v must include 1 MHz and 8 MHz", p.MicroFreqs)
+	}
+}
+
+func TestSensorPowerLinearInFs(t *testing.T) {
+	s := SensorModel{TransducerPower: 1e-3, Alpha1: 2e-6, Alpha0: 0.5e-3}
+	p250 := float64(s.Power(250))
+	p500 := float64(s.Power(500))
+	want250 := 1e-3 + 2e-6*250 + 0.5e-3
+	if math.Abs(p250-want250) > 1e-15 {
+		t.Errorf("Power(250) = %g, want %g", p250, want250)
+	}
+	// Doubling fs adds exactly α1·250 more.
+	if math.Abs((p500-p250)-2e-6*250) > 1e-15 {
+		t.Errorf("sensor power increment = %g, want %g", p500-p250, 2e-6*250)
+	}
+}
+
+func TestMicroPower(t *testing.T) {
+	m := MicroModel{Alpha1: 1e-9, Alpha0: 0.2e-3}
+	// Eq. 4: duty × (α1·f + α0).
+	got := float64(m.Power(0.25, 8e6))
+	want := 0.25 * (1e-9*8e6 + 0.2e-3)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("Power = %g, want %g", got, want)
+	}
+	if m.Power(0, 8e6) != 0 {
+		t.Error("zero duty must cost zero")
+	}
+	// Power scales linearly with duty.
+	if math.Abs(float64(m.Power(0.5, 8e6))-2*got) > 1e-15 {
+		t.Error("µC power not linear in duty")
+	}
+}
+
+func TestMemoryPower(t *testing.T) {
+	mm := MemoryModel{
+		AccessTime:   100e-9,
+		AccessPower:  1e-3,
+		BitIdlePower: 10e-12,
+		SizeBytes:    10240,
+	}
+	// Eq. 5 with γ = 10⁵ accesses/s, M = 4 kB.
+	gamma, m := 1e5, 4096.0
+	activeFrac := gamma * 100e-9 // 0.01
+	want := activeFrac*1e-3 + (1-activeFrac)*8*m*10e-12
+	if got := float64(mm.Power(gamma, m)); math.Abs(got-want) > 1e-18 {
+		t.Errorf("Power = %g, want %g", got, want)
+	}
+	// Idle-only memory still leaks.
+	if mm.Power(0, m) <= 0 {
+		t.Error("retention leakage must be positive")
+	}
+	// Saturation: the memory cannot be active more than 100 % of the time.
+	sat := float64(mm.Power(2e7, m)) // would be activeFrac = 2
+	if math.Abs(sat-1e-3) > 1e-15 {
+		t.Errorf("saturated power = %g, want access power %g", sat, 1e-3)
+	}
+}
+
+func TestValidateCatchesBadPlatforms(t *testing.T) {
+	cases := []func(*Platform){
+		func(p *Platform) { p.ADCBits = 0 },
+		func(p *Platform) { p.ADCBits = 32 },
+		func(p *Platform) { p.Sensor.Alpha1 = -1 },
+		func(p *Platform) { p.Micro.Alpha1 = 0 },
+		func(p *Platform) { p.Memory.SizeBytes = 0 },
+		func(p *Platform) { p.Memory.AccessTime = 0 },
+		func(p *Platform) { p.MicroFreqs = nil },
+		func(p *Platform) { p.MicroFreqs = []units.Hertz{0} },
+		func(p *Platform) { p.Radio.BitRate = 0 },
+	}
+	for i, mutate := range cases {
+		p := Shimmer()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid platform accepted", i)
+		}
+	}
+}
+
+func TestShimmerMagnitudes(t *testing.T) {
+	// Order-of-magnitude sanity for the default calibration: a node doing
+	// nothing but sensing should sit in the low-milliwatt range, like the
+	// real hardware.
+	p := Shimmer()
+	sense := float64(p.Sensor.Power(250))
+	if sense < 0.5e-3 || sense > 10e-3 {
+		t.Errorf("sensing power %v outside the plausible mW range", units.Watts(sense))
+	}
+	// Full-speed µC should be single-digit milliwatts.
+	mcu := float64(p.Micro.ActivePower(8e6))
+	if mcu < 1e-3 || mcu > 20e-3 {
+		t.Errorf("µC active power %v implausible", units.Watts(mcu))
+	}
+	// Memory is a second-order term on this class of node.
+	mem := float64(p.Memory.Power(5e4, 8192))
+	if mem > 1e-3 {
+		t.Errorf("memory power %v implausibly high", units.Watts(mem))
+	}
+}

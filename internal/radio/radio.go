@@ -1,0 +1,147 @@
+// Package radio models the node's 802.15.4 transceiver at the level needed
+// by both the analytical model (per-bit transmit/receive energies, Eq. 6)
+// and the simulator (state powers, ramp-up and turnaround costs).
+//
+// The default chip is CC2420-class — the transceiver on the Shimmer
+// platform of the case study — with datasheet-flavoured current draws at a
+// 3 V supply. Absolute values matter less than their structure: transmit
+// energy scales with the carrier power setting, reception is slightly more
+// expensive than transmission at 0 dBm, and leaving the radio out of sleep
+// dominates everything else.
+package radio
+
+import (
+	"fmt"
+	"sort"
+
+	"wsndse/internal/units"
+)
+
+// Chip describes a transceiver's power behaviour.
+type Chip struct {
+	Name string
+
+	BitRate units.BitsPerSecond
+
+	// State powers.
+	TxPower    units.Watts // transmitting at the configured output level
+	RxPower    units.Watts // actively receiving or listening
+	IdlePower  units.Watts // oscillator on, radio idle
+	SleepPower units.Watts // deep sleep / power-down
+
+	// Transition costs: leaving sleep requires the crystal and PLL to
+	// settle before any reception or transmission.
+	RampUpTime   units.Seconds
+	RampUpEnergy units.Joules
+
+	// TurnaroundTime is the RX↔TX switch time.
+	TurnaroundTime units.Seconds
+
+	// OutputDBm is the configured carrier power, for reporting.
+	OutputDBm int
+}
+
+// cc2420TxCurrents maps output power (dBm) to transmit current (mA) at 3 V,
+// following the CC2420 datasheet's programmable levels.
+var cc2420TxCurrents = map[int]float64{
+	0:   17.4,
+	-1:  16.5,
+	-3:  15.2,
+	-5:  13.9,
+	-7:  12.5,
+	-10: 11.2,
+	-15: 9.9,
+	-25: 8.5,
+}
+
+// TxPowerLevels lists the supported output settings in ascending dBm.
+func TxPowerLevels() []int {
+	levels := make([]int, 0, len(cc2420TxCurrents))
+	for dbm := range cc2420TxCurrents {
+		levels = append(levels, dbm)
+	}
+	sort.Ints(levels)
+	return levels
+}
+
+const supplyVolts = 3.0
+
+// CC2420 returns the default transceiver at the given output power level.
+// The case study fixes the level high enough (0 dBm) that packet errors,
+// and therefore retransmissions, are negligible (§4.3).
+func CC2420(outputDBm int) (Chip, error) {
+	ma, ok := cc2420TxCurrents[outputDBm]
+	if !ok {
+		return Chip{}, fmt.Errorf("radio: CC2420 has no %d dBm output level (supported: %v)",
+			outputDBm, TxPowerLevels())
+	}
+	return Chip{
+		Name:       fmt.Sprintf("cc2420@%ddBm", outputDBm),
+		BitRate:    250_000,
+		TxPower:    units.Watts(ma * 1e-3 * supplyVolts),
+		RxPower:    units.Watts(18.8 * 1e-3 * supplyVolts),
+		IdlePower:  units.Watts(0.426 * 1e-3 * supplyVolts),
+		SleepPower: units.Watts(20e-6 * supplyVolts),
+		RampUpTime: units.Seconds(580e-6 + 192e-6), // VCO/PLL settle + RX calibration
+		// RampUpEnergy is the incremental PLL-calibration cost beyond
+		// the idle-level draw during the settle window (consumers
+		// charge the settle residency at IdlePower separately).
+		RampUpEnergy:   units.Joules(0.5e-6),
+		TurnaroundTime: units.Seconds(192e-6),
+		OutputDBm:      outputDBm,
+	}, nil
+}
+
+// DefaultCC2420 is CC2420(0) for callers that cannot fail; it panics only
+// if the 0 dBm level were removed, which would be a programming error.
+func DefaultCC2420() Chip {
+	c, err := CC2420(0)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate reports whether the chip parameters are physically sensible.
+func (c Chip) Validate() error {
+	if c.BitRate <= 0 {
+		return fmt.Errorf("radio: %s: bit rate %v must be positive", c.Name, c.BitRate)
+	}
+	if c.TxPower <= 0 || c.RxPower <= 0 {
+		return fmt.Errorf("radio: %s: TX/RX powers must be positive", c.Name)
+	}
+	if c.SleepPower < 0 || c.IdlePower < 0 || c.RampUpTime < 0 || c.TurnaroundTime < 0 {
+		return fmt.Errorf("radio: %s: negative transition parameters", c.Name)
+	}
+	if c.SleepPower > c.IdlePower || c.IdlePower > c.RxPower {
+		return fmt.Errorf("radio: %s: expected sleep ≤ idle ≤ rx power ordering", c.Name)
+	}
+	return nil
+}
+
+// EnergyPerBitTx is E_tx of Eq. 6: the energy to transmit one bit at the
+// configured carrier power.
+func (c Chip) EnergyPerBitTx() units.Joules {
+	return units.Joules(float64(c.TxPower) / float64(c.BitRate))
+}
+
+// EnergyPerBitRx is E_rx of Eq. 6.
+func (c Chip) EnergyPerBitRx() units.Joules {
+	return units.Joules(float64(c.RxPower) / float64(c.BitRate))
+}
+
+// TxTime is the on-air duration of `bytes` bytes at the chip's bit rate.
+// This is the physical-radio dependency of the paper's T_tx(·) in Eq. 1.
+func (c Chip) TxTime(bytes float64) units.Seconds {
+	return units.Seconds(bytes * 8 / float64(c.BitRate))
+}
+
+// TxEnergy is the energy to transmit `bytes` bytes (excluding ramp-up).
+func (c Chip) TxEnergy(bytes float64) units.Joules {
+	return units.Joules(float64(c.TxTime(bytes)) * float64(c.TxPower))
+}
+
+// RxEnergy is the energy to receive `bytes` bytes.
+func (c Chip) RxEnergy(bytes float64) units.Joules {
+	return units.Joules(bytes * 8 / float64(c.BitRate) * float64(c.RxPower))
+}

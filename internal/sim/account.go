@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"wsndse/internal/radio"
+)
+
+// RadioState is one of the transceiver's power states.
+type RadioState int
+
+// Radio power states, ordered roughly by consumption.
+const (
+	StateSleep RadioState = iota
+	StateIdle
+	StateRamp // oscillator/PLL settling after leaving sleep
+	StateRx
+	StateTx
+)
+
+// String names the state.
+func (s RadioState) String() string {
+	switch s {
+	case StateSleep:
+		return "sleep"
+	case StateIdle:
+		return "idle"
+	case StateRamp:
+		return "ramp"
+	case StateRx:
+		return "rx"
+	case StateTx:
+		return "tx"
+	default:
+		return fmt.Sprintf("RadioState(%d)", int(s))
+	}
+}
+
+// radioAccount integrates radio energy over the state trajectory.
+type radioAccount struct {
+	chip  radio.Chip
+	state RadioState
+	since float64
+
+	energy    float64                // total joules
+	stateTime map[RadioState]float64 // seconds per state
+	ramps     int
+}
+
+func newRadioAccount(chip radio.Chip) *radioAccount {
+	return &radioAccount{
+		chip:      chip,
+		state:     StateSleep,
+		stateTime: make(map[RadioState]float64),
+	}
+}
+
+// power returns the draw of a state in watts.
+func (r *radioAccount) power(s RadioState) float64 {
+	switch s {
+	case StateSleep:
+		return float64(r.chip.SleepPower)
+	case StateIdle:
+		return float64(r.chip.IdlePower)
+	case StateRamp:
+		// Ramp is accounted as an explicit energy packet on entry;
+		// the residency itself draws idle-level current.
+		return float64(r.chip.IdlePower)
+	case StateRx:
+		return float64(r.chip.RxPower)
+	case StateTx:
+		return float64(r.chip.TxPower)
+	default:
+		panic("sim: unknown radio state")
+	}
+}
+
+// setState accrues energy in the old state and switches to the new one.
+// Entering Ramp additionally charges the chip's fixed ramp-up energy.
+func (r *radioAccount) setState(now float64, s RadioState) {
+	if now < r.since {
+		panic(fmt.Sprintf("sim: radio time going backwards: %.9f < %.9f", now, r.since))
+	}
+	dt := now - r.since
+	r.energy += dt * r.power(r.state)
+	r.stateTime[r.state] += dt
+	r.since = now
+	if s == StateRamp && r.state != StateRamp {
+		r.energy += float64(r.chip.RampUpEnergy)
+		r.ramps++
+	}
+	r.state = s
+}
+
+// finish closes the account at the end of the simulation.
+func (r *radioAccount) finish(now float64) {
+	r.setState(now, r.state)
+}

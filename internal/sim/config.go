@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+
+	"wsndse/internal/app"
+	ieee "wsndse/internal/ieee802154"
+	"wsndse/internal/platform"
+	"wsndse/internal/units"
+)
+
+// ArrivalModel selects how application output bytes enter the transmit
+// queue.
+type ArrivalModel int
+
+// Arrival models.
+const (
+	// ArrivalUniform streams output bytes at the constant rate φ_out —
+	// the paper's assumption ("the nature of data compression ... leads
+	// to a uniform output rate", §4.2) under which the Eq. 9 delay
+	// bound is valid.
+	ArrivalUniform ArrivalModel = iota
+	// ArrivalBlock releases a whole compressed block at once every
+	// block period — the bursty behaviour of a block codec without
+	// output smoothing. Provided for the ablation showing how the
+	// delay bound degrades when the uniformity assumption breaks.
+	ArrivalBlock
+)
+
+// String names the arrival model.
+func (a ArrivalModel) String() string {
+	switch a {
+	case ArrivalUniform:
+		return "uniform"
+	case ArrivalBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("ArrivalModel(%d)", int(a))
+	}
+}
+
+// NodeConfig describes one simulated node.
+type NodeConfig struct {
+	Name       string
+	Platform   platform.Platform
+	App        app.Application
+	SampleFreq units.Hertz
+	MicroFreq  units.Hertz
+	// Slots is the node's GTS allocation per superframe (the k^(n) of
+	// the model's assignment).
+	Slots int
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Superframe   ieee.SuperframeConfig
+	PayloadBytes int // L_payload
+	Nodes        []NodeConfig
+
+	// Duration is the simulated wall-clock time.
+	Duration units.Seconds
+
+	// Arrival selects the traffic model (uniform by default).
+	Arrival ArrivalModel
+	// BlockSamples sets the codec block size for ArrivalBlock
+	// (default 512 samples).
+	BlockSamples int
+
+	// PacketErrorRate is the i.i.d. frame loss probability on the
+	// channel; lost frames are retransmitted up to MaxRetries times.
+	// The case study operates at 0 (§4.3).
+	PacketErrorRate float64
+	// MaxRetries bounds retransmissions per frame (default 3).
+	MaxRetries int
+
+	// GuardTime is the early-wakeup margin before each beacon. Real
+	// firmware derives it from crystal drift over one beacon interval;
+	// when zero it defaults to ClockDriftPPM·BI + 32 µs.
+	GuardTime units.Seconds
+	// ClockDriftPPM is the crystal tolerance used for the default
+	// guard time (default 40 ppm).
+	ClockDriftPPM float64
+
+	// Firmware processing overheads charged to the microcontroller on
+	// top of the application's cycle budget. Defaults: 600 cycles per
+	// beacon, 350 per transmitted packet.
+	BeaconProcCycles float64
+	PacketProcCycles float64
+
+	// Seed drives the channel's loss process.
+	Seed int64
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.BlockSamples == 0 {
+		c.BlockSamples = 512
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.ClockDriftPPM == 0 {
+		c.ClockDriftPPM = 40
+	}
+	if c.GuardTime == 0 {
+		c.GuardTime = units.Seconds(c.ClockDriftPPM*1e-6*float64(c.Superframe.BeaconInterval()) + 32e-6)
+	}
+	if c.BeaconProcCycles == 0 {
+		c.BeaconProcCycles = 600
+	}
+	if c.PacketProcCycles == 0 {
+		c.PacketProcCycles = 350
+	}
+	return c
+}
+
+// Validate checks the configuration for consistency before a run.
+func (c Config) Validate() error {
+	if err := c.Superframe.Validate(); err != nil {
+		return err
+	}
+	if c.PayloadBytes < 1 || c.PayloadBytes > ieee.MaxDataPayload {
+		return fmt.Errorf("sim: payload %d out of range [1,%d]", c.PayloadBytes, ieee.MaxDataPayload)
+	}
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("sim: no nodes")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("sim: duration %v must be positive", c.Duration)
+	}
+	if c.PacketErrorRate < 0 || c.PacketErrorRate >= 1 {
+		return fmt.Errorf("sim: packet error rate %g out of [0,1)", c.PacketErrorRate)
+	}
+	totalSlots := 0
+	for i, n := range c.Nodes {
+		if n.App == nil {
+			return fmt.Errorf("sim: node %d (%s) has no application", i, n.Name)
+		}
+		if n.SampleFreq <= 0 || n.MicroFreq <= 0 {
+			return fmt.Errorf("sim: node %d (%s) has non-positive frequencies", i, n.Name)
+		}
+		if n.Slots < 0 {
+			return fmt.Errorf("sim: node %d (%s) has negative slot count", i, n.Name)
+		}
+		if err := n.Platform.Validate(); err != nil {
+			return fmt.Errorf("sim: node %d (%s): %w", i, n.Name, err)
+		}
+		totalSlots += n.Slots
+	}
+	if totalSlots > ieee.MaxGTS {
+		return fmt.Errorf("sim: %d GTS slots allocated, protocol allows %d", totalSlots, ieee.MaxGTS)
+	}
+	return nil
+}
+
+// EnergyAccount is the integrated per-node energy split, in joules over
+// the run, with the average power alongside.
+type EnergyAccount struct {
+	Sensor units.Joules
+	Micro  units.Joules
+	Memory units.Joules
+	Radio  units.Joules
+	Total  units.Joules
+}
+
+// Power converts the account to average watts over the given duration.
+func (e EnergyAccount) Power(d units.Seconds) PowerBreakdown {
+	return PowerBreakdown{
+		Sensor: e.Sensor.PerSecond(d),
+		Micro:  e.Micro.PerSecond(d),
+		Memory: e.Memory.PerSecond(d),
+		Radio:  e.Radio.PerSecond(d),
+		Total:  e.Total.PerSecond(d),
+	}
+}
+
+// PowerBreakdown is the average-power view of an EnergyAccount, directly
+// comparable with the model's EnergyBreakdown.
+type PowerBreakdown struct {
+	Sensor, Micro, Memory, Radio, Total units.Watts
+}
+
+// DelayStats summarizes per-packet delays (generation of the first byte to
+// acknowledged delivery).
+type DelayStats struct {
+	Count int
+	Mean  units.Seconds
+	Max   units.Seconds
+	P95   units.Seconds
+}
+
+// NodeResult is the per-node outcome of a run.
+type NodeResult struct {
+	Name           string
+	Energy         EnergyAccount
+	Power          PowerBreakdown
+	Delay          DelayStats
+	PacketsSent    int // distinct frames delivered
+	Retries        int // extra transmission attempts
+	PacketsDropped int // frames abandoned after MaxRetries
+	BytesDelivered int
+	QueuePeak      int // packets
+	RadioStateTime map[RadioState]units.Seconds
+	Ramps          int
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Duration    units.Seconds
+	Nodes       []NodeResult
+	BeaconsSent int
+	// Stable reports whether every node's queue drained periodically;
+	// false means the GTS allocation cannot carry the offered load and
+	// delays/queues grew through the run.
+	Stable bool
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(0.3, func() { order = append(order, 3) })
+	e.At(0.1, func() { order = append(order, 1) })
+	e.At(0.2, func() { order = append(order, 2) })
+	e.Run(1)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 1 {
+		t.Errorf("final time = %g, want 1", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongTies(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(0.5, func() { order = append(order, i) })
+	}
+	e.Run(1)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestEngineStopsAtHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(2.0, func() { ran = true })
+	e.Run(1)
+	if ran {
+		t.Error("event beyond the horizon ran")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	// Continuing past the horizon runs it.
+	e.Run(3)
+	if !ran {
+		t.Error("event not run on extended horizon")
+	}
+}
+
+func TestEngineChainedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(0.1, tick)
+	}
+	e.After(0.1, tick)
+	e.Run(1.05)
+	if count != 10 {
+		t.Errorf("ticks = %d, want 10", count)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.Run(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.At(1.5, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	e.After(-0.1, func() {})
+}
+
+func TestRadioAccountIntegration(t *testing.T) {
+	chip := testPlatform().Radio
+	r := newRadioAccount(chip)
+	r.setState(1, StateRx)    // 1 s of sleep
+	r.setState(3, StateTx)    // 2 s of rx
+	r.setState(4, StateSleep) // 1 s of tx
+	r.finish(10)              // 6 s of sleep
+
+	want := 1*float64(chip.SleepPower) + 2*float64(chip.RxPower) + 1*float64(chip.TxPower) +
+		6*float64(chip.SleepPower)
+	if diff := r.energy - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("energy = %g, want %g", r.energy, want)
+	}
+	if r.stateTime[StateRx] != 2 || r.stateTime[StateTx] != 1 || r.stateTime[StateSleep] != 7 {
+		t.Errorf("state times: %v", r.stateTime)
+	}
+	if r.ramps != 0 {
+		t.Errorf("ramps = %d", r.ramps)
+	}
+}
+
+func TestRadioAccountRampCharges(t *testing.T) {
+	chip := testPlatform().Radio
+	r := newRadioAccount(chip)
+	r.setState(1, StateRamp)
+	r.setState(2, StateRx)
+	r.finish(3)
+	if r.ramps != 1 {
+		t.Errorf("ramps = %d, want 1", r.ramps)
+	}
+	want := 1*float64(chip.SleepPower) + float64(chip.RampUpEnergy) +
+		1*float64(chip.IdlePower) + 1*float64(chip.RxPower)
+	if diff := r.energy - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("energy = %g, want %g", r.energy, want)
+	}
+}
+
+func TestRadioAccountBackwardsTimePanics(t *testing.T) {
+	r := newRadioAccount(testPlatform().Radio)
+	r.setState(5, StateRx)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards time should panic")
+		}
+	}()
+	r.setState(4, StateTx)
+}
+
+func TestRadioStateString(t *testing.T) {
+	names := map[RadioState]string{
+		StateSleep: "sleep", StateIdle: "idle", StateRamp: "ramp",
+		StateRx: "rx", StateTx: "tx",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+	if RadioState(99).String() == "" {
+		t.Error("unknown state string empty")
+	}
+}

@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	ieee "wsndse/internal/ieee802154"
+	"wsndse/internal/numeric"
+	"wsndse/internal/units"
+)
+
+// packet is one queued MAC frame. The delay of a packet is measured from
+// `created` — the instant the frame is handed to the MAC layer — to its
+// acknowledged delivery, which is the quantity the Eq. 9 bound (and a
+// Castalia-style simulation) speaks about.
+type packet struct {
+	payloadBytes int
+	created      float64
+	attempts     int
+}
+
+// realCycler is implemented by applications whose device-level cycle count
+// differs from the model's characterization (e.g. the CR-sensitive
+// compressors). The simulator prefers it over the model-side Usage.
+type realCycler interface {
+	RealCyclesPerSecond() float64
+}
+
+// simNode is the runtime state of one node.
+type simNode struct {
+	cfg NodeConfig
+	idx int
+
+	radio     *radioAccount
+	busyUntil float64 // last scheduled radio state change
+
+	phiOut    float64 // B/s
+	startSlot int     // first GTS slot in the superframe
+	endSlot   int     // one past the last GTS slot
+
+	queue     []*packet
+	queuePeak int
+
+	delays         []float64
+	packetsSent    int
+	retries        int
+	dropped        int
+	bytesDelivered int
+
+	extraCycles float64 // beacon + packet processing on the µC
+
+	// block-arrival state
+	carryBytes float64
+	// queue-length samples at each beacon, for the stability verdict
+	queueSamples []int
+}
+
+// simulation bundles the run state.
+type simulation struct {
+	cfg     Config
+	eng     *Engine
+	rng     *rand.Rand
+	nodes   []*simNode
+	beacons int
+
+	bi, slot  float64
+	guard     float64
+	beaconAir float64
+}
+
+// Run executes one simulation and returns the per-node results.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &simulation{
+		cfg: cfg,
+		eng: NewEngine(),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.bi = float64(cfg.Superframe.BeaconInterval())
+	s.slot = float64(cfg.Superframe.SlotDuration())
+	s.guard = float64(cfg.GuardTime)
+	s.beaconAir = float64(ieee.BeaconAirTime(gtsDescriptors(cfg)))
+
+	// Build nodes and lay out the contention-free period: GTSs are
+	// allocated from the end of the active portion backwards, in node
+	// order, as the standard prescribes.
+	nextEnd := ieee.ANumSuperframeSlots
+	for i, nc := range cfg.Nodes {
+		n := &simNode{
+			cfg:    nc,
+			idx:    i,
+			radio:  newRadioAccount(nc.Platform.Radio),
+			phiOut: float64(nc.App.OutputRate(nc.Platform.InputRate(nc.SampleFreq))),
+		}
+		n.endSlot = nextEnd
+		n.startSlot = nextEnd - nc.Slots
+		nextEnd = n.startSlot
+		if n.startSlot < ieee.CAPSlots {
+			// Validate caps total slots at 7, so the CFP can
+			// never eat into the 9 CAP slots; keep the invariant
+			// explicit.
+			return nil, fmt.Errorf("sim: GTS layout underflow at node %d", i)
+		}
+		s.nodes = append(s.nodes, n)
+	}
+	// Traffic generators.
+	for _, n := range s.nodes {
+		s.startArrivals(n)
+	}
+	// Superframe chain.
+	s.scheduleSuperframe(0)
+
+	dur := float64(cfg.Duration)
+	s.eng.Run(dur)
+
+	return s.collect(dur), nil
+}
+
+func totalSlots(cfg Config) int {
+	t := 0
+	for _, n := range cfg.Nodes {
+		t += n.Slots
+	}
+	return t
+}
+
+// gtsDescriptors counts the beacon's GTS descriptor list: one per node
+// holding at least one slot.
+func gtsDescriptors(cfg Config) int {
+	t := 0
+	for _, n := range cfg.Nodes {
+		if n.Slots > 0 {
+			t++
+		}
+	}
+	return t
+}
+
+// startArrivals schedules the node's traffic process.
+func (s *simulation) startArrivals(n *simNode) {
+	switch s.cfg.Arrival {
+	case ArrivalUniform:
+		if n.phiOut <= 0 {
+			return
+		}
+		interval := float64(s.cfg.PayloadBytes) / n.phiOut
+		var emit func()
+		emit = func() {
+			now := s.eng.Now()
+			n.enqueue(&packet{payloadBytes: s.cfg.PayloadBytes, created: now})
+			s.eng.After(interval, emit)
+		}
+		s.eng.After(interval, emit)
+	case ArrivalBlock:
+		fs := float64(n.cfg.SampleFreq)
+		period := float64(s.cfg.BlockSamples) / fs
+		blockBytes := n.phiOut * period
+		var emit func()
+		emit = func() {
+			now := s.eng.Now()
+			n.carryBytes += blockBytes
+			for n.carryBytes >= float64(s.cfg.PayloadBytes) {
+				n.enqueue(&packet{payloadBytes: s.cfg.PayloadBytes, created: now})
+				n.carryBytes -= float64(s.cfg.PayloadBytes)
+			}
+			if whole := int(n.carryBytes); whole > 0 {
+				// Ship the block's tail as a short frame rather
+				// than letting stale bytes wait for the next
+				// block — a real codec flushes block boundaries.
+				n.enqueue(&packet{payloadBytes: whole, created: now})
+				n.carryBytes -= float64(whole)
+			}
+			s.eng.After(period, emit)
+		}
+		s.eng.After(period, emit)
+	}
+}
+
+func (n *simNode) enqueue(p *packet) {
+	n.queue = append(n.queue, p)
+	if len(n.queue) > n.queuePeak {
+		n.queuePeak = len(n.queue)
+	}
+}
+
+// setRadio transitions the node's radio, keeping per-node chronology.
+func (s *simulation) setRadio(n *simNode, state RadioState) {
+	n.radio.setState(s.eng.Now(), state)
+}
+
+// scheduleSuperframe arms everything for superframe index sf and chains
+// the next one.
+func (s *simulation) scheduleSuperframe(sf int) {
+	tb := float64(sf) * s.bi // beacon time
+
+	for _, n := range s.nodes {
+		ramp := float64(n.cfg.Platform.Radio.RampUpTime)
+		wake := tb - s.guard - ramp
+		if wake < n.busyUntil {
+			wake = n.busyUntil
+		}
+		rxAt := tb - s.guard
+		if rxAt < wake {
+			rxAt = wake
+		}
+		beaconEnd := tb + s.beaconAir
+		node := n
+		if wake >= s.eng.Now() {
+			s.eng.At(wake, func() { s.setRadio(node, StateRamp) })
+			s.eng.At(rxAt, func() { s.setRadio(node, StateRx) })
+		} else {
+			// First superframe: the radio starts cold at t=0.
+			s.eng.At(tb, func() { s.setRadio(node, StateRx) })
+		}
+		s.eng.At(beaconEnd, func() {
+			node.extraCycles += s.cfg.BeaconProcCycles
+			node.queueSamples = append(node.queueSamples, len(node.queue))
+			s.setRadio(node, StateSleep)
+		})
+		n.busyUntil = beaconEnd
+
+		if n.cfg.Slots > 0 {
+			wStart := tb + float64(n.startSlot)*s.slot
+			wEnd := tb + float64(n.endSlot)*s.slot
+			gtsWake := wStart - ramp
+			if gtsWake < n.busyUntil {
+				gtsWake = n.busyUntil
+			}
+			s.eng.At(gtsWake, func() { s.setRadio(node, StateRamp) })
+			s.eng.At(wStart, func() { s.txWindow(node, wEnd) })
+			n.busyUntil = wEnd
+		}
+	}
+
+	s.eng.At(tb, func() { s.beacons++ })
+	s.eng.At(float64(sf+1)*s.bi-s.bi/2, func() { s.scheduleSuperframe(sf + 1) })
+}
+
+// txWindow drains the node's queue inside its GTS [now, wEnd).
+func (s *simulation) txWindow(n *simNode, wEnd float64) {
+	now := s.eng.Now()
+	if len(n.queue) == 0 {
+		s.setRadio(n, StateSleep)
+		return
+	}
+	p := n.queue[0]
+	frame := float64(ieee.DataFrameAirTime(p.payloadBytes))
+	service := float64(ieee.Turnaround()) + frame + float64(ieee.AckAirTime()) +
+		float64(ieee.IFS(p.payloadBytes+ieee.MACOverheadBytes))
+	if now+service > wEnd {
+		// Does not fit in the remaining window; resume next
+		// superframe.
+		s.setRadio(n, StateSleep)
+		return
+	}
+	// Turnaround, transmit, listen for the acknowledgement, IFS.
+	s.setRadio(n, StateIdle)
+	s.eng.After(float64(ieee.Turnaround()), func() { s.setRadio(n, StateTx) })
+	s.eng.After(float64(ieee.Turnaround())+frame, func() { s.setRadio(n, StateRx) })
+	ackDone := float64(ieee.Turnaround()) + frame + float64(ieee.AckAirTime())
+	s.eng.After(ackDone, func() {
+		n.extraCycles += s.cfg.PacketProcCycles
+		delivered := s.rng.Float64() >= s.cfg.PacketErrorRate
+		if delivered {
+			n.delays = append(n.delays, s.eng.Now()-p.created)
+			n.packetsSent++
+			n.bytesDelivered += p.payloadBytes
+			n.queue = n.queue[1:]
+		} else {
+			p.attempts++
+			if p.attempts > s.cfg.MaxRetries {
+				n.dropped++
+				n.queue = n.queue[1:]
+			} else {
+				n.retries++
+			}
+		}
+		s.setRadio(n, StateIdle)
+		ifs := float64(ieee.IFS(p.payloadBytes + ieee.MACOverheadBytes))
+		s.eng.After(ifs, func() { s.txWindow(n, wEnd) })
+	})
+}
+
+// collect assembles the result at simulation end.
+func (s *simulation) collect(dur float64) *Result {
+	res := &Result{
+		Duration:    units.Seconds(dur),
+		Nodes:       make([]NodeResult, len(s.nodes)),
+		BeaconsSent: s.beacons,
+		Stable:      true,
+	}
+	for i, n := range s.nodes {
+		n.radio.finish(dur)
+
+		// Microcontroller: application cycles (device-level, with CR
+		// sensitivity when available) plus firmware overheads.
+		appCycles := s.appCyclesPerSecond(n) * dur
+		totalCycles := appCycles + n.extraCycles
+		f := float64(n.cfg.MicroFreq)
+		activeTime := totalCycles / f
+		microE := activeTime * float64(n.cfg.Platform.Micro.ActivePower(n.cfg.MicroFreq))
+
+		// Sensor and memory run the same closed forms as the model:
+		// on real hardware these parts have no packet-level dynamics.
+		usage := n.cfg.App.Usage(n.cfg.Platform.InputRate(n.cfg.SampleFreq), n.cfg.MicroFreq)
+		sensorE := float64(n.cfg.Platform.Sensor.Power(n.cfg.SampleFreq)) * dur
+		memE := float64(n.cfg.Platform.Memory.Power(usage.AccessesPerSecond, usage.MemoryBytes)) * dur
+
+		acc := EnergyAccount{
+			Sensor: units.Joules(sensorE),
+			Micro:  units.Joules(microE),
+			Memory: units.Joules(memE),
+			Radio:  units.Joules(n.radio.energy),
+		}
+		acc.Total = acc.Sensor + acc.Micro + acc.Memory + acc.Radio
+
+		stateTime := make(map[RadioState]units.Seconds, len(n.radio.stateTime))
+		for st, t := range n.radio.stateTime {
+			stateTime[st] = units.Seconds(t)
+		}
+		nr := NodeResult{
+			Name:           n.cfg.Name,
+			Energy:         acc,
+			Power:          acc.Power(units.Seconds(dur)),
+			PacketsSent:    n.packetsSent,
+			Retries:        n.retries,
+			PacketsDropped: n.dropped,
+			BytesDelivered: n.bytesDelivered,
+			QueuePeak:      n.queuePeak,
+			RadioStateTime: stateTime,
+			Ramps:          n.radio.ramps,
+		}
+		if len(n.delays) > 0 {
+			nr.Delay = DelayStats{
+				Count: len(n.delays),
+				Mean:  units.Seconds(numeric.Mean(n.delays)),
+				Max:   units.Seconds(maxOf(n.delays)),
+				P95:   units.Seconds(numeric.Percentile(n.delays, 95)),
+			}
+		}
+		if !queueStable(n.queueSamples) {
+			res.Stable = false
+		}
+		res.Nodes[i] = nr
+	}
+	return res
+}
+
+// appCyclesPerSecond prefers the device-level characterization.
+func (s *simulation) appCyclesPerSecond(n *simNode) float64 {
+	if rc, ok := n.cfg.App.(realCycler); ok {
+		return rc.RealCyclesPerSecond()
+	}
+	usage := n.cfg.App.Usage(n.cfg.Platform.InputRate(n.cfg.SampleFreq), n.cfg.MicroFreq)
+	return usage.Duty * float64(n.cfg.MicroFreq)
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// queueStable compares queue occupancy between the first and last quarter
+// of the run: sustained growth means the allocation cannot carry the load.
+func queueStable(samples []int) bool {
+	if len(samples) < 8 {
+		return true // too short to judge
+	}
+	q := len(samples) / 4
+	head := samples[:q]
+	tail := samples[len(samples)-q:]
+	var hm, tm float64
+	for _, v := range head {
+		hm += float64(v)
+	}
+	for _, v := range tail {
+		tm += float64(v)
+	}
+	hm /= float64(len(head))
+	tm /= float64(len(tail))
+	return tm <= hm+1.5
+}
+
+// SlotsFor computes the GTS slots a node needs for a phiOut B/s stream —
+// the simulator-side mirror of the model's assignment. Both sides call
+// ieee.GTSSlotsFor so the simulated network always matches the modeled
+// one.
+func SlotsFor(sf ieee.SuperframeConfig, payloadBytes int, phiOut float64) int {
+	return ieee.GTSSlotsFor(sf, payloadBytes, phiOut)
+}

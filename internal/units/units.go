@@ -1,0 +1,158 @@
+// Package units provides thin typed wrappers for the physical quantities
+// used throughout the library: time, frequency, energy, power and data
+// rates.
+//
+// All model arithmetic in this repository is per-second normalized (the
+// paper expresses every flow in bytes per second and every energy in
+// joules per second), so the two quantities that appear most often are
+// BytesPerSecond and Watts. The types are plain float64 definitions:
+// they cost nothing at runtime but make public signatures self-documenting
+// and catch unit mix-ups at compile time.
+package units
+
+import "fmt"
+
+// Seconds is a duration expressed in seconds.
+type Seconds float64
+
+// Hertz is a frequency in cycles per second.
+type Hertz float64
+
+// Joules is an amount of energy.
+type Joules float64
+
+// Watts is power, i.e. joules per second. The paper writes per-second
+// energies such as E_node in mJ/s, which is the same dimension.
+type Watts float64
+
+// BytesPerSecond is a data stream rate at the application or MAC level.
+type BytesPerSecond float64
+
+// BitsPerSecond is a physical-layer line rate.
+type BitsPerSecond float64
+
+// Bytes is an amount of data.
+type Bytes float64
+
+// Convenient scale constants.
+const (
+	Millisecond Seconds = 1e-3
+	Microsecond Seconds = 1e-6
+
+	Kilohertz Hertz = 1e3
+	Megahertz Hertz = 1e6
+
+	Millijoule Joules = 1e-3
+	Microjoule Joules = 1e-6
+	Nanojoule  Joules = 1e-9
+	Picojoule  Joules = 1e-12
+
+	Milliwatt Watts = 1e-3
+	Microwatt Watts = 1e-6
+	Nanowatt  Watts = 1e-9
+)
+
+// String formats the duration with an SI prefix chosen for readability.
+func (s Seconds) String() string {
+	switch {
+	case s == 0:
+		return "0s"
+	case abs(float64(s)) < 1e-6:
+		return fmt.Sprintf("%.3gns", float64(s)*1e9)
+	case abs(float64(s)) < 1e-3:
+		return fmt.Sprintf("%.3gµs", float64(s)*1e6)
+	case abs(float64(s)) < 1:
+		return fmt.Sprintf("%.4gms", float64(s)*1e3)
+	default:
+		return fmt.Sprintf("%.4gs", float64(s))
+	}
+}
+
+// String formats the frequency with an SI prefix.
+func (h Hertz) String() string {
+	switch {
+	case abs(float64(h)) >= 1e6:
+		return fmt.Sprintf("%.4gMHz", float64(h)/1e6)
+	case abs(float64(h)) >= 1e3:
+		return fmt.Sprintf("%.4gkHz", float64(h)/1e3)
+	default:
+		return fmt.Sprintf("%.4gHz", float64(h))
+	}
+}
+
+// String formats the energy with an SI prefix.
+func (j Joules) String() string {
+	switch {
+	case j == 0:
+		return "0J"
+	case abs(float64(j)) < 1e-9:
+		return fmt.Sprintf("%.3gpJ", float64(j)*1e12)
+	case abs(float64(j)) < 1e-6:
+		return fmt.Sprintf("%.3gnJ", float64(j)*1e9)
+	case abs(float64(j)) < 1e-3:
+		return fmt.Sprintf("%.3gµJ", float64(j)*1e6)
+	case abs(float64(j)) < 1:
+		return fmt.Sprintf("%.4gmJ", float64(j)*1e3)
+	default:
+		return fmt.Sprintf("%.4gJ", float64(j))
+	}
+}
+
+// String formats the power with an SI prefix. The paper reports node
+// consumptions in mJ/s, i.e. milliwatts.
+func (w Watts) String() string {
+	switch {
+	case w == 0:
+		return "0W"
+	case abs(float64(w)) < 1e-6:
+		return fmt.Sprintf("%.3gnW", float64(w)*1e9)
+	case abs(float64(w)) < 1e-3:
+		return fmt.Sprintf("%.3gµW", float64(w)*1e6)
+	case abs(float64(w)) < 1:
+		return fmt.Sprintf("%.4gmW", float64(w)*1e3)
+	default:
+		return fmt.Sprintf("%.4gW", float64(w))
+	}
+}
+
+// String formats the rate in B/s, kB/s, etc.
+func (r BytesPerSecond) String() string {
+	switch {
+	case abs(float64(r)) >= 1e6:
+		return fmt.Sprintf("%.4gMB/s", float64(r)/1e6)
+	case abs(float64(r)) >= 1e3:
+		return fmt.Sprintf("%.4gkB/s", float64(r)/1e3)
+	default:
+		return fmt.Sprintf("%.4gB/s", float64(r))
+	}
+}
+
+// String formats the line rate in bit/s, kbit/s, etc.
+func (r BitsPerSecond) String() string {
+	switch {
+	case abs(float64(r)) >= 1e6:
+		return fmt.Sprintf("%.4gMbit/s", float64(r)/1e6)
+	case abs(float64(r)) >= 1e3:
+		return fmt.Sprintf("%.4gkbit/s", float64(r)/1e3)
+	default:
+		return fmt.Sprintf("%.4gbit/s", float64(r))
+	}
+}
+
+// Bits converts a byte count to bits.
+func (b Bytes) Bits() float64 { return float64(b) * 8 }
+
+// PerSecond divides an energy by a duration, yielding average power.
+func (j Joules) PerSecond(d Seconds) Watts {
+	if d == 0 {
+		return 0
+	}
+	return Watts(float64(j) / float64(d))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

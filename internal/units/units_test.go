@@ -1,0 +1,101 @@
+package units
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{0, "0s"},
+		{1.5, "1.5s"},
+		{15.36e-3, "15.36ms"},
+		{Millisecond, "1ms"},
+		{320 * Microsecond, "320µs"},
+		{12e-9, "12ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Seconds(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestHertzString(t *testing.T) {
+	if got := (8 * Megahertz).String(); got != "8MHz" {
+		t.Errorf("8 MHz = %q", got)
+	}
+	if got := Hertz(250).String(); got != "250Hz" {
+		t.Errorf("250 Hz = %q", got)
+	}
+	if got := (62.5 * Kilohertz).String(); got != "62.5kHz" {
+		t.Errorf("62.5 kHz = %q", got)
+	}
+}
+
+func TestJoulesString(t *testing.T) {
+	cases := []struct {
+		in   Joules
+		want string
+	}{
+		{0, "0J"},
+		{2.5, "2.5J"},
+		{3 * Millijoule, "3mJ"},
+		{7 * Microjoule, "7µJ"},
+		{42 * Nanojoule, "42nJ"},
+		{9 * Picojoule, "9pJ"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Joules(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestWattsString(t *testing.T) {
+	if got := (5.2 * Milliwatt).String(); got != "5.2mW" {
+		t.Errorf("5.2 mW = %q", got)
+	}
+	if got := (52 * Microwatt).String(); got != "52µW" {
+		t.Errorf("52 µW = %q", got)
+	}
+	if got := Watts(0).String(); got != "0W" {
+		t.Errorf("0 W = %q", got)
+	}
+	if got := Watts(1.5).String(); got != "1.5W" {
+		t.Errorf("1.5 W = %q", got)
+	}
+}
+
+func TestRateStrings(t *testing.T) {
+	if got := BytesPerSecond(375).String(); got != "375B/s" {
+		t.Errorf("375 B/s = %q", got)
+	}
+	if got := BytesPerSecond(2_000).String(); !strings.HasSuffix(got, "kB/s") {
+		t.Errorf("2 kB/s = %q", got)
+	}
+	if got := BitsPerSecond(250_000).String(); got != "250kbit/s" {
+		t.Errorf("250 kbit/s = %q", got)
+	}
+	if got := BitsPerSecond(2e6).String(); got != "2Mbit/s" {
+		t.Errorf("2 Mbit/s = %q", got)
+	}
+}
+
+func TestBytesBits(t *testing.T) {
+	if got := Bytes(13).Bits(); got != 104 {
+		t.Errorf("13 bytes = %g bits, want 104", got)
+	}
+}
+
+func TestJoulesPerSecond(t *testing.T) {
+	if got := Joules(6).PerSecond(2); got != 3 {
+		t.Errorf("6J over 2s = %v, want 3W", got)
+	}
+	if got := Joules(6).PerSecond(0); got != 0 {
+		t.Errorf("zero duration should yield 0, got %v", got)
+	}
+}
