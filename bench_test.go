@@ -239,6 +239,63 @@ func BenchmarkEventEngine(b *testing.B) {
 	}
 }
 
+// benchBatchConfigs draws one fixed batch of case-study configurations for
+// the EvaluateBatch benchmarks.
+func benchBatchConfigs(problem *casestudy.Problem, n int) []dse.Config {
+	rng := rand.New(rand.NewSource(7))
+	configs := make([]dse.Config, n)
+	for i := range configs {
+		configs[i] = problem.Space().Random(rng)
+	}
+	return configs
+}
+
+// benchEvaluateBatch times one 256-configuration batch through a fresh
+// ParallelEvaluator (fresh so the memo cache cannot trivialize the work).
+// Comparing the Sequential and Parallel variants measures the worker-pool
+// speedup of the batch runtime itself; evals/s is directly comparable to
+// BenchmarkModelEvaluation.
+func benchEvaluateBatch(b *testing.B, workers int) {
+	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+	configs := benchBatchConfigs(problem, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pe := dse.NewParallelEvaluator(problem.Evaluator(), workers)
+		pe.EvaluateBatch(configs)
+	}
+	b.ReportMetric(float64(b.N*len(configs))/b.Elapsed().Seconds(), "evals/s")
+}
+
+func BenchmarkEvaluateBatchSequential(b *testing.B) { benchEvaluateBatch(b, 1) }
+func BenchmarkEvaluateBatchParallel(b *testing.B)   { benchEvaluateBatch(b, 0) }
+
+// benchExplore times a full NSGA-II exploration of the case study at the
+// given worker count. The Sequential/Parallel pair demonstrates (rather
+// than asserts) the end-to-end speedup of the concurrent batch runtime on
+// multi-core hardware; the dse equivalence tests guarantee both variants
+// return identical fronts.
+func benchExplore(b *testing.B, workers int) {
+	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.NSGA2(problem.Space(), problem.Evaluator(), dse.NSGA2Config{
+			PopulationSize: 32,
+			Generations:    8,
+			Seed:           11,
+			Workers:        workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Front) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+}
+
+func BenchmarkExploreSequential(b *testing.B) { benchExplore(b, 1) }
+func BenchmarkExploreParallel(b *testing.B)   { benchExplore(b, 0) }
+
 // BenchmarkNSGA2Generation times the genetic algorithm on the case study
 // at one-generation granularity (population 32).
 func BenchmarkNSGA2Generation(b *testing.B) {

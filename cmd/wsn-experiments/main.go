@@ -1,13 +1,19 @@
 // Command wsn-experiments regenerates the paper's evaluation artifacts:
 // Figure 3 (energy estimation accuracy), Figure 4 (PRD estimation
 // accuracy), the Eq. 9 delay validation, the evaluation-speed comparison,
-// Figure 5 (tradeoff detection vs the energy/delay baseline), and the
-// calibration that produces the shipped quality polynomials.
+// Figure 5 (tradeoff detection vs the energy/delay baseline), the two
+// ablations, and the calibration that produces the shipped quality
+// polynomials.
+//
+// The selected experiments fan out across a worker pool (-workers) and the
+// searches inside fig5/ablation batch their evaluations across the same
+// number of workers; output order and content are identical at any worker
+// count.
 //
 // Example:
 //
 //	wsn-experiments -run all
-//	wsn-experiments -run fig3,fig5
+//	wsn-experiments -run fig3,fig5 -workers 8
 //	wsn-experiments -run delay -delay-runs 130
 package main
 
@@ -25,13 +31,14 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiments: all | comma list of fig3,fig4,delay,speed,fig5,calibrate")
+		run       = flag.String("run", "all", "experiments: all | comma list of fig3,fig4,delay,speed,fig5,ablation,calibrate")
 		delayRuns = flag.Int("delay-runs", 130, "configurations for the delay validation (paper: 130)")
 		simDur    = flag.Float64("sim-duration", 30, "simulated seconds per delay-validation run")
 		pop       = flag.Int("pop", 96, "NSGA-II population for fig5")
 		gen       = flag.Int("gen", 60, "NSGA-II generations for fig5")
 		check     = flag.Bool("check", true, "verify each experiment's headline claims")
 		csvDir    = flag.String("csvdir", "", "also write <experiment>.csv files into this directory")
+		workers   = flag.Int("workers", 0, "concurrent experiments and per-search evaluation workers (<= 0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -44,43 +51,6 @@ func main() {
 		for _, name := range strings.Split(*run, ",") {
 			selected[strings.TrimSpace(name)] = true
 		}
-	}
-
-	type checker interface {
-		Render(w io.Writer)
-		Check() error
-	}
-	writeCSV := func(name string, r interface{ WriteCSV(io.Writer) error }) {
-		if *csvDir == "" {
-			return
-		}
-		path := *csvDir + "/" + name + ".csv"
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wsn-experiments: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := r.WriteCSV(f); err != nil {
-			fmt.Fprintf(os.Stderr, "wsn-experiments: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("[%s.csv written]\n", name)
-	}
-	finish := func(name string, r checker, err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wsn-experiments: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		r.Render(os.Stdout)
-		if *check {
-			if err := r.Check(); err != nil {
-				fmt.Fprintf(os.Stderr, "wsn-experiments: %s check FAILED: %v\n", name, err)
-				os.Exit(1)
-			}
-			fmt.Printf("[%s checks passed]\n", name)
-		}
-		fmt.Println()
 	}
 
 	if selected["calibrate"] {
@@ -98,49 +68,99 @@ func main() {
 		de, ce := cal.EstimationErrors()
 		fmt.Printf("mean abs err: DWT %.3f, CS %.3f PRD points\n\n", de, ce)
 	}
-	if selected["fig3"] {
-		res, err := experiments.Fig3(experiments.Fig3Config{})
-		if err == nil {
-			writeCSV("fig3", res)
+
+	// The job list fixes both execution eligibility and render order; the
+	// runner may finish jobs in any order but reports them in this one.
+	// Exclusive jobs measure their own wall clock, so they run in a second,
+	// sequential pass after the concurrent pool has drained rather than
+	// co-scheduled with it (which would depress their throughput numbers).
+	var jobs []experiments.Job
+	var exclusive []bool
+	add := func(key, name string, run func() (experiments.Report, error)) {
+		if selected[key] {
+			jobs = append(jobs, experiments.Job{Name: name, Run: run})
+			exclusive = append(exclusive, key == "speed")
 		}
-		finish("fig3", res, err)
 	}
-	if selected["fig4"] {
-		res, err := experiments.Fig4(experiments.Fig4Config{})
-		if err == nil {
-			writeCSV("fig4", res)
-		}
-		finish("fig4", res, err)
-	}
-	if selected["delay"] {
-		res, err := experiments.DelayVal(experiments.DelayValConfig{
+	add("fig3", "fig3", func() (experiments.Report, error) {
+		return experiments.Fig3(experiments.Fig3Config{})
+	})
+	add("fig4", "fig4", func() (experiments.Report, error) {
+		return experiments.Fig4(experiments.Fig4Config{})
+	})
+	add("delay", "delay", func() (experiments.Report, error) {
+		return experiments.DelayVal(experiments.DelayValConfig{
 			Runs:        *delayRuns,
 			SimDuration: units.Seconds(*simDur),
 		})
-		if err == nil {
-			writeCSV("delay", res)
-		}
-		finish("delay", res, err)
-	}
-	if selected["speed"] {
-		res, err := experiments.Speed(experiments.SpeedConfig{})
-		finish("speed", res, err)
-	}
-	if selected["fig5"] {
-		res, err := experiments.Fig5(experiments.Fig5Config{
+	})
+	add("speed", "speed", func() (experiments.Report, error) {
+		return experiments.Speed(experiments.SpeedConfig{})
+	})
+	add("fig5", "fig5", func() (experiments.Report, error) {
+		return experiments.Fig5(experiments.Fig5Config{
 			PopulationSize: *pop,
 			Generations:    *gen,
 			RunMOSA:        true,
+			Workers:        *workers,
 		})
-		if err == nil {
-			writeCSV("fig5", res)
+	})
+	add("ablation", "ablation-theta", func() (experiments.Report, error) {
+		return experiments.ThetaAblation(experiments.ThetaAblationConfig{Workers: *workers})
+	})
+	add("ablation", "ablation-arrival", func() (experiments.Report, error) {
+		return experiments.ArrivalAblation(experiments.ArrivalAblationConfig{})
+	})
+
+	outs := make([]experiments.Outcome, len(jobs))
+	var pool, solo []experiments.Job
+	var poolIdx, soloIdx []int
+	for i, j := range jobs {
+		if exclusive[i] {
+			solo, soloIdx = append(solo, j), append(soloIdx, i)
+		} else {
+			pool, poolIdx = append(pool, j), append(poolIdx, i)
 		}
-		finish("fig5", res, err)
 	}
-	if selected["ablation"] {
-		theta, err := experiments.ThetaAblation(experiments.ThetaAblationConfig{})
-		finish("ablation-theta", theta, err)
-		arrival, err := experiments.ArrivalAblation(experiments.ArrivalAblationConfig{})
-		finish("ablation-arrival", arrival, err)
+	for k, out := range experiments.RunJobs(pool, *workers) {
+		outs[poolIdx[k]] = out
 	}
+	for k, out := range experiments.RunJobs(solo, 1) {
+		outs[soloIdx[k]] = out
+	}
+	for _, out := range outs {
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "wsn-experiments: %s: %v\n", out.Name, out.Err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if r, ok := out.Report.(interface{ WriteCSV(io.Writer) error }); ok {
+				writeCSV(*csvDir, out.Name, r)
+			}
+		}
+		out.Report.Render(os.Stdout)
+		if *check {
+			if err := out.Report.Check(); err != nil {
+				fmt.Fprintf(os.Stderr, "wsn-experiments: %s check FAILED: %v\n", out.Name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s checks passed]\n", out.Name)
+		}
+		fmt.Println()
+	}
+}
+
+func writeCSV(dir, name string, r interface{ WriteCSV(io.Writer) error }) {
+	path := dir + "/" + name + ".csv"
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsn-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := r.WriteCSV(f); err != nil {
+		fmt.Fprintf(os.Stderr, "wsn-experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("[%s.csv written]\n", name)
 }

@@ -5,7 +5,7 @@
 //
 // Example:
 //
-//	wsn-explore -algo nsga2 -pop 96 -gen 60
+//	wsn-explore -algo nsga2 -pop 96 -gen 60 -workers 8
 //	wsn-explore -objectives baseline -algo mosa -iters 6000
 //	wsn-explore -csv front.csv
 package main
@@ -30,6 +30,7 @@ func main() {
 		gen        = flag.Int("gen", 60, "NSGA-II generations")
 		iters      = flag.Int("iters", 6000, "MOSA iterations / random-search budget")
 		seed       = flag.Int64("seed", 17, "search seed")
+		workers    = flag.Int("workers", 0, "evaluation workers (<= 0: GOMAXPROCS); fronts are identical at any count")
 		csvPath    = flag.String("csv", "", "write the front to this CSV file")
 	)
 	flag.Parse()
@@ -53,14 +54,14 @@ func main() {
 	switch *algo {
 	case "nsga2":
 		res, err = dse.NSGA2(problem.Space(), eval, dse.NSGA2Config{
-			PopulationSize: *pop, Generations: *gen, Seed: *seed,
+			PopulationSize: *pop, Generations: *gen, Seed: *seed, Workers: *workers,
 		})
 	case "mosa":
 		res, err = dse.MOSA(problem.Space(), eval, dse.MOSAConfig{
-			Iterations: *iters, Seed: *seed,
+			Iterations: *iters, Seed: *seed, Workers: *workers,
 		})
 	case "random":
-		res, err = dse.RandomSearch(problem.Space(), eval, *iters, *seed)
+		res, err = dse.RandomSearchParallel(problem.Space(), eval, *iters, *seed, *workers)
 	default:
 		err = fmt.Errorf("unknown algorithm %q", *algo)
 	}

@@ -27,6 +27,20 @@
 //     internal/experiments — the exploration framework, the energy/delay
 //     comparator, the §4 case study, and one harness per figure/table.
 //
-// The benchmarks in bench_test.go regenerate every evaluation artifact;
-// cmd/wsn-experiments prints them as tables.
+// # Concurrent batch evaluation
+//
+// The exploration stack runs on a concurrent batch-evaluation runtime
+// (dse.ParallelEvaluator): search algorithms produce candidate
+// configurations sequentially from their seeded RNGs and evaluate them in
+// batches across a bounded worker pool backed by a sharded memo cache.
+// Fronts and evaluation counts are bit-identical at every worker count —
+// parallelism changes wall-clock, never results. The per-figure harnesses
+// in internal/experiments fan out the same way (experiments.RunJobs), and
+// internal/cs builds its per-rate reconstruction dictionaries under a
+// per-codec lock that never blocks concurrent decoders. See the dse
+// package documentation for the exact determinism guarantees.
+//
+// The benchmarks in bench_test.go regenerate every evaluation artifact
+// (including parallel-vs-sequential exploration pairs); cmd/wsn-experiments
+// prints them as tables, and both it and cmd/wsn-explore take -workers N.
 package wsndse

@@ -1,0 +1,3 @@
+module wsndse
+
+go 1.24

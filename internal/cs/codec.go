@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"wsndse/internal/bitpack"
 	"wsndse/internal/dwt"
@@ -37,7 +38,12 @@ type Codec struct {
 	Tol       float64 // OMP relative-residual stop; 0 selects 1e-3
 	LambdaRel float64 // BPDN regularization relative to ‖Aᵀy‖∞; 0 selects 0.02
 
-	dicts map[int]*dictionary // per-m dictionary cache
+	// Per-m dictionary cache. dictMu guards only the map; dictionary
+	// builds happen outside the lock with an in-flight entry, so one
+	// codec can be shared by concurrent decoders (e.g. a coordinator
+	// draining several sensors) without serializing on the build.
+	dictMu sync.Mutex
+	dicts  map[int]*dictEntry
 }
 
 // Algorithm identifies a reconstruction solver.
@@ -71,7 +77,7 @@ func NewCodec(n int, w dwt.Wavelet, levels int, seed int64) *Codec {
 		Wavelet:  w,
 		Levels:   levels,
 		MeasBits: 12,
-		dicts:    make(map[int]*dictionary),
+		dicts:    make(map[int]*dictEntry),
 	}
 }
 

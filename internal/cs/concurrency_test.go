@@ -1,0 +1,100 @@
+package cs
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"wsndse/internal/dwt"
+)
+
+// TestConcurrentDecompress shares one codec between goroutines decoding at
+// two different measurement counts, so both the in-flight wait path and
+// parallel builds of distinct dictionary entries are exercised under -race.
+// Every concurrent reconstruction must equal the sequential one.
+func TestConcurrentDecompress(t *testing.T) {
+	const n = 256
+	block := make([]float64, n)
+	for i := range block {
+		block[i] = math.Sin(float64(i)/7) + 0.25*math.Sin(float64(i)/3)
+	}
+
+	makeCodec := func() *Codec { return NewCodec(n, dwt.Daubechies4(), 4, 3) }
+
+	// Two rates → two distinct dictionaries in the same cache.
+	shared := makeCodec()
+	var payloads [][]byte
+	for _, cr := range []float64{0.3, 0.5} {
+		b, err := shared.Compress(block, cr, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, b.Payload)
+	}
+
+	// Reference reconstructions from a fresh, sequentially used codec.
+	ref := make([][]float64, len(payloads))
+	refCodec := makeCodec()
+	for i, p := range payloads {
+		out, err := refCodec.Decompress(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = out
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		for i := range payloads {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				out, err := shared.Decompress(payloads[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range out {
+					if out[j] != ref[i][j] {
+						t.Errorf("payload %d sample %d: concurrent %g != sequential %g",
+							i, j, out[j], ref[i][j])
+						return
+					}
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDecompressZeroValueCodec checks that a codec built as a
+// struct literal (nil dictionary map) lazily initializes its cache safely
+// under concurrent first use.
+func TestConcurrentDecompressZeroValueCodec(t *testing.T) {
+	const n = 128
+	block := make([]float64, n)
+	for i := range block {
+		block[i] = math.Cos(float64(i) / 5)
+	}
+	codec := &Codec{N: n, D: 8, Seed: 1, Wavelet: dwt.Haar(), Levels: 3, MeasBits: 12}
+	b, err := codec.Compress(block, 0.5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := codec.Decompress(b.Payload); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

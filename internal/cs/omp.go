@@ -1,8 +1,6 @@
 package cs
 
 import (
-	"sync"
-
 	"wsndse/internal/dwt"
 	"wsndse/internal/numeric"
 )
@@ -23,20 +21,42 @@ type dictionary struct {
 	alen int
 }
 
-var dictMu sync.Mutex
+// dictEntry is one cache slot. The goroutine that inserts the entry owns
+// the build; concurrent decoders at the same rate block on done instead of
+// rebuilding, and decoders at other rates build in parallel because the
+// codec mutex is released during the build.
+type dictEntry struct {
+	done chan struct{}
+	d    *dictionary
+	err  error
+}
 
 // dictionary returns the cached dictionary for m measurements, building it
 // on first use. Building costs n inverse transforms plus n sparse
 // projections and is amortized across all blocks decoded at this rate.
+// Safe for concurrent use: the per-codec mutex guards only the map, never
+// the build.
 func (c *Codec) dictionary(m int) (*dictionary, error) {
-	dictMu.Lock()
-	defer dictMu.Unlock()
+	c.dictMu.Lock()
 	if c.dicts == nil {
-		c.dicts = make(map[int]*dictionary)
+		c.dicts = make(map[int]*dictEntry)
 	}
-	if d, ok := c.dicts[m]; ok {
-		return d, nil
+	if e, ok := c.dicts[m]; ok {
+		c.dictMu.Unlock()
+		<-e.done
+		return e.d, e.err
 	}
+	e := &dictEntry{done: make(chan struct{})}
+	c.dicts[m] = e
+	c.dictMu.Unlock()
+
+	e.d, e.err = c.buildDictionary(m)
+	close(e.done)
+	return e.d, e.err
+}
+
+// buildDictionary materializes A = Φ·Ψᵀ for m measurements.
+func (c *Codec) buildDictionary(m int) (*dictionary, error) {
 	phi, err := NewSensingMatrix(m, c.N, c.D, c.Seed)
 	if err != nil {
 		return nil, err
@@ -57,9 +77,7 @@ func (c *Codec) dictionary(m int) (*dictionary, error) {
 		}
 		norms[j] = numeric.Norm2(col)
 	}
-	d := &dictionary{m: m, n: c.N, atoms: atoms, norms: norms, alen: c.N >> c.Levels}
-	c.dicts[m] = d
-	return d, nil
+	return &dictionary{m: m, n: c.N, atoms: atoms, norms: norms, alen: c.N >> c.Levels}, nil
 }
 
 // omp runs orthogonal matching pursuit: greedily select the dictionary atom

@@ -8,11 +8,17 @@ import (
 
 // MOSAConfig parameterizes multi-objective simulated annealing.
 type MOSAConfig struct {
-	Iterations  int     // default 5000
+	Iterations  int     // total across all chains; default 5000
 	InitialTemp float64 // default 1.0
 	Cooling     float64 // geometric factor per iteration; default 0.999
 	Restarts    int     // independent chains; default 4
 	Seed        int64
+	// Workers bounds how many chains anneal concurrently; <= 0 selects
+	// GOMAXPROCS. Each chain owns a seed derived deterministically from
+	// (Seed, chain index) and a private guiding archive, so results are
+	// bit-identical at any worker count; the per-chain archives merge
+	// into the returned front in chain order.
+	Workers int
 }
 
 func (c MOSAConfig) withDefaults() MOSAConfig {
@@ -31,11 +37,23 @@ func (c MOSAConfig) withDefaults() MOSAConfig {
 	return c
 }
 
+// chainSeed derives chain ch's RNG seed from the run seed with a
+// SplitMix64-style mix, so chains draw decorrelated streams and the
+// derivation is independent of execution order.
+func chainSeed(seed int64, ch int) int64 {
+	z := uint64(seed) + (uint64(ch)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // MOSA runs archive-based multi-objective simulated annealing in the
 // spirit of Nam & Park [27]: a random walk over single-gene neighbours
-// whose acceptance energy is the fraction of the current archive that
+// whose acceptance energy is the fraction of the chain's archive that
 // dominates the candidate, so the chain is always pulled toward (and
-// along) the front. Several independent chains share one archive.
+// along) the front. The independent chains run concurrently on the worker
+// pool, share the memo cache (a configuration visited by two chains is
+// evaluated once), and their archives merge deterministically at the end.
 //
 // The paper reports that the model-driven DSE found fronts of equivalent
 // quality with genetic algorithms and simulated annealing (§5.2); MOSA is
@@ -48,9 +66,26 @@ func MOSA(space *Space, eval Evaluator, cfg MOSAConfig) (*Result, error) {
 	if cfg.Cooling <= 0 || cfg.Cooling >= 1 {
 		return nil, fmt.Errorf("dse: cooling factor %g must be in (0,1)", cfg.Cooling)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	memo := newMemo(eval)
+	pe := NewParallelEvaluator(eval, cfg.Workers)
+
+	chainArchives := make([]Archive, cfg.Restarts)
+	ForEach(cfg.Restarts, pe.Workers(), func(ch int) {
+		annealChain(space, pe, cfg, ch, &chainArchives[ch])
+	})
+
 	var arch Archive
+	for i := range chainArchives {
+		for _, p := range chainArchives[i].Points() {
+			arch.Add(p)
+		}
+	}
+	evaluated, infeasible := pe.Stats()
+	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
+}
+
+// annealChain runs one independent annealing chain into arch.
+func annealChain(space *Space, pe *ParallelEvaluator, cfg MOSAConfig, ch int, arch *Archive) {
+	rng := rand.New(rand.NewSource(chainSeed(cfg.Seed, ch)))
 
 	energy := func(p Point) float64 {
 		if !p.Feasible {
@@ -68,20 +103,17 @@ func MOSA(space *Space, eval Evaluator, cfg MOSAConfig) (*Result, error) {
 		return float64(dominated) / float64(arch.Len())
 	}
 
-	for chain := 0; chain < cfg.Restarts; chain++ {
-		cur := memo.eval(space.Random(rng))
-		arch.Add(cur)
-		curE := energy(cur)
-		temp := cfg.InitialTemp
-		for it := 0; it < cfg.Iterations/cfg.Restarts; it++ {
-			cand := memo.eval(space.Neighbor(rng, cur.Config))
-			arch.Add(cand)
-			candE := energy(cand)
-			if candE <= curE || rng.Float64() < math.Exp(-(candE-curE)/temp) {
-				cur, curE = cand, candE
-			}
-			temp *= cfg.Cooling
+	cur := pe.Eval(space.Random(rng))
+	arch.Add(cur)
+	curE := energy(cur)
+	temp := cfg.InitialTemp
+	for it := 0; it < cfg.Iterations/cfg.Restarts; it++ {
+		cand := pe.Eval(space.Neighbor(rng, cur.Config))
+		arch.Add(cand)
+		candE := energy(cand)
+		if candE <= curE || rng.Float64() < math.Exp(-(candE-curE)/temp) {
+			cur, curE = cand, candE
 		}
+		temp *= cfg.Cooling
 	}
-	return &Result{Front: arch.Points(), Evaluated: memo.evaluated, Infeasible: memo.infeasible}, nil
 }

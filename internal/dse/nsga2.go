@@ -14,6 +14,12 @@ type NSGA2Config struct {
 	CrossoverProb  float64 // default 0.9
 	MutationProb   float64 // per gene; default 1/len(genes)
 	Seed           int64
+	// Workers bounds the evaluation pool each generation's offspring
+	// batch fans out over; <= 0 selects GOMAXPROCS. Results are
+	// bit-identical at any worker count: variation is driven by a single
+	// seeded RNG stream independent of evaluation scheduling, and points
+	// enter the archive in offspring order.
+	Workers int
 }
 
 func (c NSGA2Config) withDefaults(genes int) NSGA2Config {
@@ -37,6 +43,11 @@ func (c NSGA2Config) withDefaults(genes int) NSGA2Config {
 // domain)" the paper drives with its model (§5.2). The returned front is
 // the non-dominated set over every point evaluated during the run, not
 // merely the final population.
+//
+// Each generation's offspring population is produced sequentially from the
+// seeded RNG (tournament selection only reads the parent generation, so no
+// offspring depends on a sibling's evaluation) and then evaluated in one
+// EvaluateBatch across cfg.Workers.
 func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
@@ -46,13 +57,16 @@ func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
 		return nil, fmt.Errorf("dse: population size %d must be even and ≥ 4", cfg.PopulationSize)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	memo := newMemo(eval)
+	pe := NewParallelEvaluator(eval, cfg.Workers)
 	var arch Archive
 
-	pop := make([]Point, cfg.PopulationSize)
-	for i := range pop {
-		pop[i] = memo.eval(space.Random(rng))
-		arch.Add(pop[i])
+	seeds := make([]Config, cfg.PopulationSize)
+	for i := range seeds {
+		seeds[i] = space.Random(rng)
+	}
+	pop := pe.EvaluateBatch(seeds)
+	for _, p := range pop {
+		arch.Add(p)
 	}
 
 	for gen := 0; gen < cfg.Generations; gen++ {
@@ -60,8 +74,8 @@ func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
 
 		// Variation: binary tournaments pick parents, uniform
 		// crossover plus per-gene mutation produce offspring.
-		offspring := make([]Point, 0, cfg.PopulationSize)
-		for len(offspring) < cfg.PopulationSize {
+		children := make([]Config, 0, cfg.PopulationSize)
+		for len(children) < cfg.PopulationSize {
 			a := tournament(rng, pop, ranks, crowd)
 			b := tournament(rng, pop, ranks, crowd)
 			var child Config
@@ -70,16 +84,18 @@ func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
 			} else {
 				child = pop[a].Config.Clone()
 			}
-			child = space.Mutate(rng, child, cfg.MutationProb)
-			p := memo.eval(child)
+			children = append(children, space.Mutate(rng, child, cfg.MutationProb))
+		}
+		offspring := pe.EvaluateBatch(children)
+		for _, p := range offspring {
 			arch.Add(p)
-			offspring = append(offspring, p)
 		}
 
 		// Elitist environmental selection over parents ∪ offspring.
 		pop = environmentalSelection(append(pop, offspring...), cfg.PopulationSize)
 	}
-	return &Result{Front: arch.Points(), Evaluated: memo.evaluated, Infeasible: memo.infeasible}, nil
+	evaluated, infeasible := pe.Stats()
+	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
 }
 
 // rankAndCrowd computes the non-domination rank (0 = best) and crowding

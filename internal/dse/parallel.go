@@ -1,0 +1,159 @@
+package dse
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// memoShards is the number of independently locked cache shards. Sharding
+// keeps workers from serializing on one mutex when the evaluator is cheap
+// relative to the cache lookup.
+const memoShards = 64
+
+// memoEntry is one cached evaluation. The goroutine that inserts the entry
+// owns the evaluation; every other goroutine that hits the same key blocks
+// on done until the point is filled in. This gives exactly-once evaluation
+// per distinct configuration regardless of scheduling, which is what keeps
+// the Evaluated/Infeasible counts identical at any worker count.
+type memoEntry struct {
+	done chan struct{}
+	p    Point
+}
+
+type memoShard struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+}
+
+// ParallelEvaluator wraps an Evaluator with a bounded worker pool and a
+// sharded, mutex-guarded memo cache. It is the batch-evaluation runtime
+// every search algorithm in this package runs on: the sequential path is
+// simply workers = 1.
+//
+// Determinism contract: the wrapped Evaluator must be a pure function of
+// the configuration (every evaluator in this repository is). Under that
+// assumption EvaluateBatch returns bit-identical results in input order at
+// any worker count, each distinct configuration is evaluated exactly once
+// process-wide, and Stats reports scheduling-independent counts.
+//
+// The wrapped Evaluator is called from multiple goroutines concurrently;
+// stateless evaluators need no synchronization of their own.
+type ParallelEvaluator struct {
+	inner      Evaluator
+	workers    int
+	shards     [memoShards]memoShard
+	evaluated  atomic.Int64
+	infeasible atomic.Int64
+}
+
+// NewParallelEvaluator wraps inner with a batch runtime running at most
+// workers concurrent evaluations. workers <= 0 selects GOMAXPROCS.
+func NewParallelEvaluator(inner Evaluator, workers int) *ParallelEvaluator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pe := &ParallelEvaluator{inner: inner, workers: workers}
+	for i := range pe.shards {
+		pe.shards[i].entries = make(map[string]*memoEntry)
+	}
+	return pe
+}
+
+// Workers returns the pool bound.
+func (pe *ParallelEvaluator) Workers() int { return pe.workers }
+
+// NumObjectives forwards to the wrapped evaluator, so a ParallelEvaluator
+// is itself usable wherever an objective count is needed.
+func (pe *ParallelEvaluator) NumObjectives() int { return pe.inner.NumObjectives() }
+
+// shardFor hashes the memo key (FNV-1a) onto a shard.
+func (pe *ParallelEvaluator) shardFor(key string) *memoShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &pe.shards[h%memoShards]
+}
+
+// Eval evaluates one configuration through the cache. Safe for concurrent
+// use; a configuration in flight on another goroutine is waited for, not
+// re-evaluated.
+func (pe *ParallelEvaluator) Eval(c Config) Point {
+	key := c.Key()
+	sh := pe.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		<-e.done
+		return e.p
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	sh.entries[key] = e
+	sh.mu.Unlock()
+
+	objs, err := pe.inner.Evaluate(c)
+	e.p = Point{Config: c.Clone(), Objs: objs, Feasible: err == nil}
+	pe.evaluated.Add(1)
+	if err != nil {
+		pe.infeasible.Add(1)
+	}
+	close(e.done)
+	return e.p
+}
+
+// ForEach runs fn(i) for every i in [0,n) on at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS; one worker runs inline). Workers claim
+// indices from an atomic counter, so scheduling affects only when each
+// index runs, never whether. It is the pool primitive beneath
+// EvaluateBatch, MOSA's chains, and the experiments job runner.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EvaluateBatch evaluates every configuration, fanning the batch across the
+// worker pool, and returns the points in input order: out[i] is configs[i]'s
+// evaluation. Duplicate configurations (within the batch or across batches)
+// cost one evaluation and yield the identical Point.
+func (pe *ParallelEvaluator) EvaluateBatch(configs []Config) []Point {
+	out := make([]Point, len(configs))
+	ForEach(len(configs), pe.workers, func(i int) {
+		out[i] = pe.Eval(configs[i])
+	})
+	return out
+}
+
+// Stats returns how many distinct configurations have been evaluated and
+// how many of those were infeasible. The counts are scheduling-independent:
+// they depend only on the set of configurations submitted.
+func (pe *ParallelEvaluator) Stats() (evaluated, infeasible int) {
+	return int(pe.evaluated.Load()), int(pe.infeasible.Load())
+}

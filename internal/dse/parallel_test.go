@@ -1,0 +1,169 @@
+package dse
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// sameResult asserts two search results are bit-identical: same front
+// (configs, objectives, feasibility, order) and same counts.
+func sameResult(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if a.Evaluated != b.Evaluated || a.Infeasible != b.Infeasible {
+		t.Fatalf("%s: counts differ: (%d,%d) vs (%d,%d)",
+			label, a.Evaluated, a.Infeasible, b.Evaluated, b.Infeasible)
+	}
+	if len(a.Front) != len(b.Front) {
+		t.Fatalf("%s: front sizes differ: %d vs %d", label, len(a.Front), len(b.Front))
+	}
+	for i := range a.Front {
+		if !reflect.DeepEqual(a.Front[i], b.Front[i]) {
+			t.Fatalf("%s: front point %d differs:\n%+v\nvs\n%+v", label, i, a.Front[i], b.Front[i])
+		}
+	}
+}
+
+// TestEvaluateBatchOrderAndDedup checks the batch contract: points come
+// back in input order, duplicates coalesce to one evaluation, and Stats
+// counts distinct configurations.
+func TestEvaluateBatchOrderAndDedup(t *testing.T) {
+	s := testSpace(5, 4)
+	eval := &constrainedEvaluator{inner: &convexEvaluator{space: s}}
+	pe := NewParallelEvaluator(eval, 8)
+
+	var configs []Config
+	s.Iterate(func(c Config) bool {
+		configs = append(configs, c.Clone(), c.Clone()) // every point twice
+		return true
+	})
+	pts := pe.EvaluateBatch(configs)
+	if len(pts) != len(configs) {
+		t.Fatalf("got %d points for %d configs", len(pts), len(configs))
+	}
+	for i, p := range pts {
+		if !reflect.DeepEqual(p.Config, configs[i]) {
+			t.Fatalf("point %d is for config %v, want %v", i, p.Config, configs[i])
+		}
+		want, err := eval.Evaluate(configs[i])
+		if p.Feasible != (err == nil) {
+			t.Fatalf("point %d feasibility %v, want error=%v", i, p.Feasible, err)
+		}
+		if p.Feasible && !reflect.DeepEqual(p.Objs, want) {
+			t.Fatalf("point %d objs %v, want %v", i, p.Objs, want)
+		}
+	}
+	evaluated, infeasible := pe.Stats()
+	if evaluated != 20 {
+		t.Errorf("evaluated %d distinct configs, space has 20", evaluated)
+	}
+	if infeasible == 0 {
+		t.Error("constrained space reported no infeasible configs")
+	}
+}
+
+// TestParallelEvaluatorConcurrentBatches hammers one shared evaluator from
+// many goroutines over an overlapping key set — the -race exercise of the
+// sharded cache.
+func TestParallelEvaluatorConcurrentBatches(t *testing.T) {
+	s := testSpace(7, 5, 3)
+	pe := NewParallelEvaluator(&convexEvaluator{space: s}, 4)
+	var all []Config
+	s.Iterate(func(c Config) bool {
+		all = append(all, c.Clone())
+		return true
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine submits a rotated view of the same keys.
+			batch := append(append([]Config{}, all[g*10:]...), all[:g*10]...)
+			pe.EvaluateBatch(batch)
+		}(g)
+	}
+	wg.Wait()
+	if evaluated, _ := pe.Stats(); evaluated != len(all) {
+		t.Errorf("evaluated %d distinct configs, want %d", evaluated, len(all))
+	}
+}
+
+// TestNSGA2WorkerEquivalence is the headline determinism guarantee: the
+// parallel path returns the sequential path's front bit for bit.
+func TestNSGA2WorkerEquivalence(t *testing.T) {
+	s := testSpace(12, 4, 3)
+	eval := &constrainedEvaluator{inner: &convexEvaluator{space: s}}
+	cfg := NSGA2Config{PopulationSize: 24, Generations: 15, Seed: 9}
+	cfg.Workers = 1
+	seq, err := NSGA2(s, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		par, err := NSGA2(s, eval, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, seq, par, "nsga2")
+	}
+}
+
+// TestMOSAWorkerEquivalence checks the per-chain seeding and chain-order
+// archive merge: concurrent chains reproduce the sequential run.
+func TestMOSAWorkerEquivalence(t *testing.T) {
+	s := testSpace(15, 4)
+	eval := &constrainedEvaluator{inner: &convexEvaluator{space: s}}
+	cfg := MOSAConfig{Iterations: 2000, Restarts: 4, Seed: 5}
+	cfg.Workers = 1
+	seq, err := MOSA(s, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		par, err := MOSA(s, eval, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, seq, par, "mosa")
+	}
+}
+
+// TestExhaustiveWorkerEquivalence checks batched enumeration.
+func TestExhaustiveWorkerEquivalence(t *testing.T) {
+	s := testSpace(9, 5, 4)
+	eval := &constrainedEvaluator{inner: &convexEvaluator{space: s}}
+	seq, err := ExhaustiveParallel(s, eval, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExhaustiveParallel(s, eval, 1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, seq, par, "exhaustive")
+	// And the single-worker wrapper matches too.
+	wrapped, err := Exhaustive(s, eval, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, seq, wrapped, "exhaustive wrapper")
+}
+
+// TestRandomSearchWorkerEquivalence checks the pre-drawn batch: the RNG
+// stream never observes the worker count.
+func TestRandomSearchWorkerEquivalence(t *testing.T) {
+	s := testSpace(11, 3)
+	eval := &convexEvaluator{space: s}
+	seq, err := RandomSearchParallel(s, eval, 400, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RandomSearchParallel(s, eval, 400, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, seq, par, "random")
+}

@@ -13,61 +13,62 @@ type Result struct {
 	Infeasible int // of those, how many violated constraints
 }
 
-// memoEvaluator wraps an Evaluator with a cache so searches never pay for
-// re-visited configurations and the Evaluated count means distinct points.
-type memoEvaluator struct {
-	inner      Evaluator
-	cache      map[string]Point
-	evaluated  int
-	infeasible int
-}
+// exhaustiveBatch is how many configurations Exhaustive hands to the
+// worker pool at a time: large enough to amortize dispatch, small enough
+// that the archive merge interleaves with evaluation.
+const exhaustiveBatch = 1024
 
-func newMemo(e Evaluator) *memoEvaluator {
-	return &memoEvaluator{inner: e, cache: make(map[string]Point)}
-}
-
-func (m *memoEvaluator) eval(c Config) Point {
-	key := c.Key()
-	if p, ok := m.cache[key]; ok {
-		return p
-	}
-	objs, err := m.inner.Evaluate(c)
-	p := Point{Config: c.Clone(), Objs: objs, Feasible: err == nil}
-	m.evaluated++
-	if err != nil {
-		m.infeasible++
-	}
-	m.cache[key] = p
-	return p
-}
-
-// Exhaustive enumerates the whole space. It refuses spaces larger than
-// maxPoints to protect callers from accidental 10¹¹-point sweeps.
+// Exhaustive enumerates the whole space on a single worker. It refuses
+// spaces larger than maxPoints to protect callers from accidental
+// 10¹¹-point sweeps.
 func Exhaustive(space *Space, eval Evaluator, maxPoints int) (*Result, error) {
+	return ExhaustiveParallel(space, eval, maxPoints, 1)
+}
+
+// ExhaustiveParallel enumerates the whole space, evaluating batches of
+// configurations across the worker pool (workers <= 0 selects GOMAXPROCS).
+// Enumeration order, the resulting front, and the counts are identical at
+// any worker count.
+func ExhaustiveParallel(space *Space, eval Evaluator, maxPoints, workers int) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
 	if size := space.Size(); size > float64(maxPoints) {
 		return nil, fmt.Errorf("dse: space has %.3g points, exhaustive limit is %d", size, maxPoints)
 	}
+	pe := NewParallelEvaluator(eval, workers)
 	var arch Archive
-	evaluated, infeasible := 0, 0
-	space.Iterate(func(c Config) bool {
-		objs, err := eval.Evaluate(c)
-		evaluated++
-		if err != nil {
-			infeasible++
-			return true
+	batch := make([]Config, 0, exhaustiveBatch)
+	flush := func() {
+		for _, p := range pe.EvaluateBatch(batch) {
+			arch.Add(p)
 		}
-		arch.Add(Point{Config: c.Clone(), Objs: objs, Feasible: true})
+		batch = batch[:0]
+	}
+	space.Iterate(func(c Config) bool {
+		batch = append(batch, c.Clone())
+		if len(batch) == exhaustiveBatch {
+			flush()
+		}
 		return true
 	})
+	flush()
+	evaluated, infeasible := pe.Stats()
 	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
 }
 
-// RandomSearch evaluates `budget` uniform random configurations — the
-// reference any metaheuristic must beat.
+// RandomSearch evaluates `budget` uniform random configurations on a single
+// worker — the reference any metaheuristic must beat.
 func RandomSearch(space *Space, eval Evaluator, budget int, seed int64) (*Result, error) {
+	return RandomSearchParallel(space, eval, budget, seed, 1)
+}
+
+// RandomSearchParallel draws the whole budget from one seeded stream, then
+// evaluates it as a single batch across the worker pool (workers <= 0
+// selects GOMAXPROCS). The draw sequence, front, and counts are identical
+// at any worker count; revisited configurations are deduplicated by the
+// memo cache so Evaluated means distinct points.
+func RandomSearchParallel(space *Space, eval Evaluator, budget int, seed int64, workers int) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,11 +76,15 @@ func RandomSearch(space *Space, eval Evaluator, budget int, seed int64) (*Result
 		return nil, fmt.Errorf("dse: budget %d must be positive", budget)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	memo := newMemo(eval)
+	configs := make([]Config, budget)
+	for i := range configs {
+		configs[i] = space.Random(rng)
+	}
+	pe := NewParallelEvaluator(eval, workers)
 	var arch Archive
-	for i := 0; i < budget; i++ {
-		p := memo.eval(space.Random(rng))
+	for _, p := range pe.EvaluateBatch(configs) {
 		arch.Add(p)
 	}
-	return &Result{Front: arch.Points(), Evaluated: memo.evaluated, Infeasible: memo.infeasible}, nil
+	evaluated, infeasible := pe.Stats()
+	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
 }

@@ -8,6 +8,29 @@
 // Everything is deterministic under a caller-provided seed, and evaluators
 // signal constraint violations (infeasible configurations) so the
 // algorithms can apply constrained dominance instead of aborting.
+//
+// # Batch-evaluation runtime
+//
+// Every search algorithm runs on ParallelEvaluator, a bounded worker pool
+// over a sharded, mutex-guarded memo cache. Candidate configurations are
+// produced sequentially from the algorithm's seeded RNG and handed to
+// EvaluateBatch, which fans them across the pool and returns points in
+// input order; each distinct configuration is evaluated exactly once no
+// matter how many workers race for it, so Result.Evaluated keeps meaning
+// distinct points.
+//
+// # Determinism guarantees
+//
+// Evaluators must be pure functions of the configuration. Under that
+// assumption, fronts and the Evaluated/Infeasible counts are bit-identical
+// at every worker count (workers = 1 is the sequential path): NSGA-II
+// derives each offspring population from the parent generation alone and
+// archives it in offspring order, MOSA gives each chain a seed mixed from
+// (Seed, chain index) and a private guiding archive and merges the chain
+// archives in chain order, and Exhaustive/RandomSearch archive their
+// batches in enumeration/draw order. Archive merging is additionally
+// order-independent at the objective level: the set of non-dominated
+// objective vectors does not depend on insertion order.
 package dse
 
 import (

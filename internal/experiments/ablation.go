@@ -18,6 +18,9 @@ type ThetaAblationConfig struct {
 	PopulationSize int
 	Generations    int
 	Seed           int64
+	// Workers bounds the evaluation pool of the per-ϑ searches; <= 0
+	// selects GOMAXPROCS. Fronts are identical at any worker count.
+	Workers int
 }
 
 func (c ThetaAblationConfig) withDefaults() ThetaAblationConfig {
@@ -68,6 +71,7 @@ func ThetaAblation(cfg ThetaAblationConfig) (*ThetaAblationResult, error) {
 			PopulationSize: cfg.PopulationSize,
 			Generations:    cfg.Generations,
 			Seed:           cfg.Seed,
+			Workers:        cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

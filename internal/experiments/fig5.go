@@ -22,6 +22,10 @@ type Fig5Config struct {
 	// RunMOSA additionally runs simulated annealing with the full model
 	// to check the paper's GA-vs-SA equivalence observation.
 	RunMOSA bool
+
+	// Workers bounds the evaluation pool of the inner searches; <= 0
+	// selects GOMAXPROCS. Fronts are identical at any worker count.
+	Workers int
 }
 
 func (c Fig5Config) withDefaults() Fig5Config {
@@ -83,6 +87,7 @@ func Fig5(cfg Fig5Config) (*Fig5Result, error) {
 		PopulationSize: cfg.PopulationSize,
 		Generations:    cfg.Generations,
 		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -91,6 +96,7 @@ func Fig5(cfg Fig5Config) (*Fig5Result, error) {
 		PopulationSize: cfg.PopulationSize,
 		Generations:    cfg.Generations,
 		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -116,6 +122,7 @@ func Fig5(cfg Fig5Config) (*Fig5Result, error) {
 		sa, err := dse.MOSA(problem.Space(), problem.Evaluator(), dse.MOSAConfig{
 			Iterations: cfg.PopulationSize * cfg.Generations,
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"io"
+
+	"wsndse/internal/dse"
+)
+
+// Report is the interface every experiment result implements: a text
+// renderer and a verification of the headline claims it reproduces.
+type Report interface {
+	Render(w io.Writer)
+	Check() error
+}
+
+// Job is one experiment harness, deferred so the runner controls when (and
+// on which goroutine) it executes. Run must be self-contained: the
+// harnesses in this package are pure functions of their configs, so any
+// subset can execute concurrently.
+type Job struct {
+	Name string
+	Run  func() (Report, error)
+}
+
+// Outcome pairs a job with its result. Exactly one of Report and Err is
+// set.
+type Outcome struct {
+	Name   string
+	Report Report
+	Err    error
+}
+
+// RunJobs executes the jobs on at most workers goroutines (workers <= 0
+// selects GOMAXPROCS) and returns the outcomes in job order regardless of
+// completion order, so rendering stays deterministic however the harnesses
+// are scheduled. Jobs whose harnesses take a Workers knob (Fig5, the ϑ
+// ablation) may additionally batch their evaluations across
+// dse.ParallelEvaluator, so total concurrency can reach jobs × evaluation
+// workers; worker counts never change any job's results.
+//
+// Wall-clock-sensitive harnesses (Speed) measure their own timing and will
+// read slower when co-scheduled with other jobs on a loaded machine; run
+// those in their own RunJobs call (as cmd/wsn-experiments does) when the
+// absolute throughput number matters.
+func RunJobs(jobs []Job, workers int) []Outcome {
+	outs := make([]Outcome, len(jobs))
+	dse.ForEach(len(jobs), workers, func(i int) {
+		r, err := jobs[i].Run()
+		outs[i] = Outcome{Name: jobs[i].Name, Report: r, Err: err}
+	})
+	return outs
+}
