@@ -1,0 +1,155 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can archive one machine-readable benchmark artifact
+// per run and the performance trajectory accumulates across commits.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -out BENCH_PR.json
+//	benchjson -in bench.txt -out BENCH_PR.json
+//
+// Every benchmark line becomes one entry carrying the full metric set —
+// ns/op plus any custom metrics reported via b.ReportMetric (evals/s,
+// error percentages, front sizes...), which is how this repository's
+// benchmarks expose the paper's headline quantities.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Package is the Go package the benchmark ran in (from the preceding
+	// "pkg:" header, empty if the input carries none).
+	Package string `json:"package,omitempty"`
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// "-N" GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every reported metric (ns/op, B/op,
+	// custom units...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the artifact layout.
+type Document struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "-", "input file (- for stdin)")
+		out = flag.String("out", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := Parse(r)
+	if err != nil {
+		fail(err)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(doc.Benchmarks))
+}
+
+// Parse reads `go test -bench` output. Non-benchmark lines (PASS, ok,
+// coverage...) are skipped; goos/goarch/cpu/pkg headers annotate the
+// document and subsequent entries.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				b.Package = pkg
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-8  N  value unit  value unit ..."
+// line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// A result line needs at least name, iterations and one value/unit
+	// pair; "BenchmarkFoo" alone is the verbose-run announcement line.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Metrics: map[string]float64{}}
+	b.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = procs
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: wsndse
+cpu: AMD EPYC 7B13
+BenchmarkModelEvaluation-8   	  120000	      9500 ns/op	    105263 evals/s
+BenchmarkNetworkSimulation-8 	       2	 510000000 ns/op
+BenchmarkFig3EnergyModel     	       1	1200000000 ns/op	         1.74 maxerr%	         0.13 dwterr%
+PASS
+ok  	wsndse	3.214s
+pkg: wsndse/internal/dse
+BenchmarkCrowding-8          	  500000	      2100 ns/op	      64 B/op	       1 allocs/op
+PASS
+ok  	wsndse/internal/dse	1.002s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("headers not captured: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+
+	me := doc.Benchmarks[0]
+	if me.Name != "ModelEvaluation" || me.Procs != 8 || me.Package != "wsndse" {
+		t.Errorf("first benchmark misparsed: %+v", me)
+	}
+	if me.Iterations != 120000 {
+		t.Errorf("iterations = %d", me.Iterations)
+	}
+	if me.Metrics["ns/op"] != 9500 || me.Metrics["evals/s"] != 105263 {
+		t.Errorf("metrics misparsed: %v", me.Metrics)
+	}
+
+	// No -N suffix: Procs stays 0, name intact.
+	fig3 := doc.Benchmarks[2]
+	if fig3.Name != "Fig3EnergyModel" || fig3.Procs != 0 {
+		t.Errorf("suffixless benchmark misparsed: %+v", fig3)
+	}
+	if fig3.Metrics["maxerr%"] != 1.74 || fig3.Metrics["dwterr%"] != 0.13 {
+		t.Errorf("custom metrics misparsed: %v", fig3.Metrics)
+	}
+
+	// Package headers advance with pkg: lines.
+	crowd := doc.Benchmarks[3]
+	if crowd.Package != "wsndse/internal/dse" {
+		t.Errorf("package not tracked: %+v", crowd)
+	}
+	if crowd.Metrics["B/op"] != 64 || crowd.Metrics["allocs/op"] != 1 {
+		t.Errorf("alloc metrics misparsed: %v", crowd.Metrics)
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	noise := `PASS
+BenchmarkAnnounced
+ok  	wsndse	0.1s
+?   	wsndse/cmd/wsn-sim	[no test files]
+`
+	doc, err := Parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("noise parsed as benchmarks: %+v", doc.Benchmarks)
+	}
+}

@@ -2,8 +2,10 @@
 // Figure 3 (energy estimation accuracy), Figure 4 (PRD estimation
 // accuracy), the Eq. 9 delay validation, the evaluation-speed comparison,
 // Figure 5 (tradeoff detection vs the energy/delay baseline), the two
-// ablations, and the calibration that produces the shipped quality
-// polynomials.
+// ablations, the calibration that produces the shipped quality
+// polynomials, and the scenario sweep (one exploration + simulator
+// cross-check per registered scenario, plus the GTS-starvation node-count
+// sweep).
 //
 // The selected experiments fan out across a worker pool (-workers) and the
 // searches inside fig5/ablation batch their evaluations across the same
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiments: all | comma list of fig3,fig4,delay,speed,fig5,ablation,calibrate")
+		run       = flag.String("run", "all", "experiments: all | comma list of fig3,fig4,delay,speed,fig5,ablation,scenarios,calibrate")
 		delayRuns = flag.Int("delay-runs", 130, "configurations for the delay validation (paper: 130)")
 		simDur    = flag.Float64("sim-duration", 30, "simulated seconds per delay-validation run")
 		pop       = flag.Int("pop", 96, "NSGA-II population for fig5")
@@ -44,7 +46,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *run == "all" {
-		for _, name := range []string{"fig3", "fig4", "delay", "speed", "fig5", "ablation"} {
+		for _, name := range []string{"fig3", "fig4", "delay", "speed", "fig5", "ablation", "scenarios"} {
 			selected[name] = true
 		}
 	} else {
@@ -110,6 +112,9 @@ func main() {
 	})
 	add("ablation", "ablation-arrival", func() (experiments.Report, error) {
 		return experiments.ArrivalAblation(experiments.ArrivalAblationConfig{})
+	})
+	add("scenarios", "scenarios", func() (experiments.Report, error) {
+		return experiments.ScenarioSweep(experiments.ScenarioSweepConfig{Workers: *workers})
 	})
 
 	outs := make([]experiments.Outcome, len(jobs))

@@ -1,12 +1,14 @@
-// Command wsn-explore runs a multi-objective design-space exploration of
-// the case study with the analytical model — the paper's end-to-end use
-// case. It supports the full three-metric model or the energy/delay-only
-// baseline, with NSGA-II, simulated annealing or random search.
+// Command wsn-explore runs a multi-objective design-space exploration of a
+// registered scenario with the analytical model — the paper's end-to-end
+// use case generalized to heterogeneous workloads. It supports the full
+// three-metric model or the energy/delay-only baseline view, with NSGA-II,
+// simulated annealing or random search.
 //
 // Example:
 //
-//	wsn-explore -algo nsga2 -pop 96 -gen 60 -workers 8
-//	wsn-explore -objectives baseline -algo mosa -iters 6000
+//	wsn-explore -list-scenarios
+//	wsn-explore -scenario dense-gts -algo nsga2 -pop 96 -gen 60 -workers 8
+//	wsn-explore -scenario athletes -objectives baseline -algo mosa -iters 6000
 //	wsn-explore -csv front.csv
 package main
 
@@ -16,41 +18,61 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"wsndse/internal/baseline"
 	"wsndse/internal/casestudy"
 	"wsndse/internal/dse"
+	"wsndse/internal/scenario"
 )
 
 func main() {
 	var (
-		algo       = flag.String("algo", "nsga2", "search algorithm: nsga2 | mosa | random")
-		objectives = flag.String("objectives", "full", "evaluator: full (energy, PRD, delay) | baseline (energy, delay)")
-		pop        = flag.Int("pop", 96, "NSGA-II population size")
-		gen        = flag.Int("gen", 60, "NSGA-II generations")
-		iters      = flag.Int("iters", 6000, "MOSA iterations / random-search budget")
-		seed       = flag.Int64("seed", 17, "search seed")
-		workers    = flag.Int("workers", 0, "evaluation workers (<= 0: GOMAXPROCS); fronts are identical at any count")
-		csvPath    = flag.String("csv", "", "write the front to this CSV file")
+		scenarioName = flag.String("scenario", "ecg-ward", "registered scenario to explore (see -list-scenarios)")
+		list         = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
+		algo         = flag.String("algo", "nsga2", "search algorithm: nsga2 | mosa | random")
+		objectives   = flag.String("objectives", "full", "evaluator: full (energy, quality, delay) | baseline (energy, delay)")
+		pop          = flag.Int("pop", 96, "NSGA-II population size")
+		gen          = flag.Int("gen", 60, "NSGA-II generations")
+		iters        = flag.Int("iters", 6000, "MOSA iterations / random-search budget")
+		seed         = flag.Int64("seed", 17, "search seed")
+		workers      = flag.Int("workers", 0, "evaluation workers (<= 0: GOMAXPROCS); fronts are identical at any count")
+		csvPath      = flag.String("csv", "", "write the front to this CSV file")
 	)
 	flag.Parse()
 
-	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+	if *list {
+		listScenarios()
+		return
+	}
+
+	sc, ok := scenario.Lookup(*scenarioName)
+	if !ok {
+		fail(fmt.Errorf("unknown scenario %q (registered: %s)",
+			*scenarioName, strings.Join(scenario.Names(), ", ")))
+	}
+	problem, err := scenario.NewProblem(sc, casestudy.DefaultCalibration())
+	if err != nil {
+		fail(err)
+	}
 	var eval dse.Evaluator
 	switch *objectives {
 	case "full":
 		eval = problem.Evaluator()
 	case "baseline":
-		eval = baseline.New(problem)
+		// The application-blind (energy, delay) view. For the case-study
+		// scenario this is numerically identical to the Fig. 5 baseline
+		// (baseline.New): both evaluate the same network and drop the
+		// quality objective.
+		eval = baseline.Project(problem.Evaluator(), 0, 2)
 	default:
 		fail(fmt.Errorf("unknown objectives %q", *objectives))
 	}
 
-	fmt.Printf("design space: %.3g configurations, %d objectives, algorithm %s\n",
-		problem.Space().Size(), eval.NumObjectives(), *algo)
+	fmt.Printf("scenario %s: %d nodes, %.3g configurations, %d objectives, algorithm %s\n",
+		sc.Name, len(sc.Nodes), problem.Space().Size(), eval.NumObjectives(), *algo)
 
 	var res *dse.Result
-	var err error
 	switch *algo {
 	case "nsga2":
 		res, err = dse.NSGA2(problem.Space(), eval, dse.NSGA2Config{
@@ -71,12 +93,11 @@ func main() {
 
 	fmt.Printf("evaluated %d distinct configurations (%d infeasible)\n", res.Evaluated, res.Infeasible)
 	fmt.Printf("Pareto front: %d points\n\n", len(res.Front))
-	header := []string{"energy_mW", "delay_ms"}
 	if eval.NumObjectives() == 3 {
-		header = []string{"energy_mW", "prd_pct", "delay_ms"}
+		fmt.Printf("%-12s %-10s %-10s  configuration\n", "energy_mW", "quality", "delay_ms")
+	} else {
+		fmt.Printf("%-12s %-10s %-10s  configuration\n", "energy_mW", "delay_ms", "")
 	}
-	fmt.Printf("%-12s %-10s %-10s  configuration\n", header[0], header[min(1, len(header)-1)],
-		header[len(header)-1])
 	for _, p := range res.Front {
 		params, err := problem.Decode(p.Config)
 		if err != nil {
@@ -84,13 +105,13 @@ func main() {
 		}
 		switch eval.NumObjectives() {
 		case 3:
-			fmt.Printf("%-12.4f %-10.2f %-10.1f  BO=%d SO=%d L=%d CR=%v\n",
+			fmt.Printf("%-12.4f %-10.2f %-10.1f  BO=%d SO=%d L=%d CR=%v f=%v\n",
 				p.Objs[0]*1e3, p.Objs[1], p.Objs[2]*1e3,
-				params.BeaconOrder, params.SuperframeOrder, params.PayloadBytes, params.CR)
+				params.BeaconOrder, params.SuperframeOrder, params.PayloadBytes, params.CR, params.MicroFreq)
 		default:
-			fmt.Printf("%-12.4f %-10.1f %-10s  BO=%d SO=%d L=%d CR=%v\n",
+			fmt.Printf("%-12.4f %-10.1f %-10s  BO=%d SO=%d L=%d CR=%v f=%v\n",
 				p.Objs[0]*1e3, p.Objs[1]*1e3, "",
-				params.BeaconOrder, params.SuperframeOrder, params.PayloadBytes, params.CR)
+				params.BeaconOrder, params.SuperframeOrder, params.PayloadBytes, params.CR, params.MicroFreq)
 		}
 	}
 
@@ -99,6 +120,18 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("\nfront written to %s\n", *csvPath)
+	}
+}
+
+func listScenarios() {
+	fmt.Printf("%-12s %-6s %-10s %s\n", "name", "nodes", "space", "description")
+	for _, sc := range scenario.List() {
+		size := "?"
+		if p, err := scenario.NewProblem(sc, casestudy.DefaultCalibration()); err == nil {
+			size = fmt.Sprintf("%.3g", p.Space().Size())
+		}
+		fmt.Printf("%-12s %-6d %-10s %s\n", sc.Name, len(sc.Nodes), size, sc.Description)
+		fmt.Printf("%-12s %-6s %-10s stress: %s\n", "", "", "", sc.Stress)
 	}
 }
 
@@ -112,7 +145,7 @@ func writeCSV(path string, front []dse.Point, objectives int) error {
 	defer w.Flush()
 	header := []string{"energy_W", "delay_s"}
 	if objectives == 3 {
-		header = []string{"energy_W", "prd_pct", "delay_s"}
+		header = []string{"energy_W", "quality", "delay_s"}
 	}
 	header = append(header, "config")
 	if err := w.Write(header); err != nil {
@@ -129,13 +162,6 @@ func writeCSV(path string, front []dse.Point, objectives int) error {
 		}
 	}
 	return w.Error()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func fail(err error) {

@@ -25,7 +25,24 @@
 //     device-level energy accounting (the measurement/Castalia stand-in);
 //   - internal/dse, internal/baseline, internal/casestudy,
 //     internal/experiments — the exploration framework, the energy/delay
-//     comparator, the §4 case study, and one harness per figure/table.
+//     comparator, the §4 case study, and one harness per figure/table;
+//   - internal/scenario — the scenario engine: declarative heterogeneous
+//     workloads plus the process-wide registry the CLIs, experiments and
+//     examples select workloads from.
+//
+// # Scenario engine
+//
+// A scenario.Scenario declares one heterogeneous star workload — per-node
+// applications (the calibrated compressors or raw streams), platforms,
+// payload profiles, traffic model, explorable MAC axes and the Eq. 8
+// balance weight — and scenario.NewProblem compiles it into a per-node
+// design space with matching materializations for both sides of the
+// stack: core.Network with per-node MAC views for nodes carrying their
+// own payload profile, and sim.Config with per-node payload/arrival
+// overrides. Five workloads ship registered (ecg-ward, mixed-ward,
+// athletes, dense-gts, raw-stream); wsn-explore -list-scenarios prints
+// them and wsn-experiments -run scenarios sweeps them all, including the
+// GTS-starvation node-count sweep over the protocol's 7-slot budget.
 //
 // # Concurrent batch evaluation
 //

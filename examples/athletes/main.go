@@ -1,8 +1,9 @@
 // Athletes: a four-runner training squad monitored over a lossy on-field
-// channel. The scenario exercises knobs the hospital ward does not: a
-// smaller network, heterogeneous per-node configurations (the coach's
-// runner streams at high fidelity, the others compress harder), packet
-// loss with retransmissions, and the bursty block-arrival traffic model.
+// channel, selected from the scenario registry. The scenario exercises
+// knobs the hospital ward does not: a smaller network, heterogeneous
+// per-node fidelity (the coach's runner explores only near-raw CRs),
+// packet loss with retransmissions, and the bursty block-arrival traffic
+// model under which the Eq. 9 bound no longer applies.
 //
 //	go run ./examples/athletes
 package main
@@ -12,24 +13,26 @@ import (
 	"log"
 
 	"wsndse/internal/casestudy"
+	"wsndse/internal/scenario"
 	"wsndse/internal/sim"
 	"wsndse/internal/units"
 )
 
 func main() {
-	cal := casestudy.DefaultCalibration()
-
-	// Four nodes: two DWT (the first streams near-raw for the coach),
-	// two CS. A short beacon interval keeps latency low during drills.
-	params := casestudy.Params{
-		BeaconOrder:     2, // BI = 61.44 ms
-		SuperframeOrder: 2,
-		PayloadBytes:    48,
-		CR:              []float64{0.38, 0.20, 0.23, 0.23},
-		MicroFreq:       []units.Hertz{8e6, 8e6, 2e6, 2e6},
+	sc, ok := scenario.Lookup("athletes")
+	if !ok {
+		log.Fatal("athletes not registered")
+	}
+	problem, err := scenario.NewProblem(sc, casestudy.DefaultCalibration())
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	net, err := params.Network(cal, 1.0) // ϑ = 1: balance matters on a squad
+	params, err := problem.FeasibleParams()
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := problem.Network(params)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,35 +40,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("model evaluation:")
+	fmt.Printf("model evaluation (BO=%d SO=%d L=%dB):\n",
+		params.BeaconOrder, params.SuperframeOrder, params.PayloadBytes)
 	for i, n := range net.Nodes {
-		fmt.Printf("  %-8s CR=%.2f f=%v: %v, PRD %.1f%%, delay ≤ %v\n",
+		fmt.Printf("  %-12s CR=%.2f f=%v: %v, PRD %.1f%%, delay ≤ %v\n",
 			n.Name, params.CR[i], n.MicroFreq, ev.PerNode[i].Total,
 			ev.PerNodeQuality[i], units.Seconds(ev.PerNodeDelay[i]))
 	}
-	fmt.Printf("network: energy %v, PRD %.1f%%, delay %v (ϑ=1)\n\n", ev.Energy, ev.Quality, ev.Delay)
+	fmt.Printf("squad: energy %v, PRD %.1f%%, delay %v (ϑ=%g: balance matters on a squad)\n\n",
+		ev.Energy, ev.Quality, ev.Delay, sc.Theta)
 
-	// On-field verification: 5 % frame loss, bursty block arrivals.
-	simCfg, err := params.SimConfig(cal, 120, 7)
+	// On-field verification under the scenario's traffic profile: 5 %
+	// frame loss, bursty block arrivals.
+	simCfg, err := problem.DefaultSimConfig(params)
 	if err != nil {
 		log.Fatal(err)
 	}
-	simCfg.PacketErrorRate = 0.05
-	simCfg.Arrival = sim.ArrivalBlock
 	res, err := sim.Run(simCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulated %v with PER=5%%, block arrivals (stable=%v):\n", res.Duration, res.Stable)
+	fmt.Printf("simulated %v with PER=%g%%, %v arrivals (stable=%v):\n",
+		res.Duration, sc.Traffic.PacketErrorRate*100, sc.Traffic.Arrival, res.Stable)
 	for _, n := range res.Nodes {
 		loss := 0.0
 		if n.PacketsSent+n.PacketsDropped > 0 {
 			loss = float64(n.PacketsDropped) / float64(n.PacketsSent+n.PacketsDropped) * 100
 		}
-		fmt.Printf("  %-8s %v, delivered %d pkts (+%d retries, %.2f%% lost), max delay %v\n",
+		fmt.Printf("  %-12s %v, delivered %d pkts (+%d retries, %.2f%% lost), max delay %v\n",
 			n.Name, n.Power.Total, n.PacketsSent, n.Retries, loss, n.Delay.Max)
 	}
 	fmt.Println("\nnote: with block arrivals the Eq. 9 bound no longer applies —")
-	fmt.Println("compare max delays against the uniform-arrival run to see why the")
+	fmt.Println("compare max delays against a uniform-arrival run to see why the")
 	fmt.Println("paper's uniform-output-rate assumption matters.")
 }

@@ -11,11 +11,10 @@ import (
 	"fmt"
 	"log"
 
-	"wsndse/internal/app"
 	"wsndse/internal/casestudy"
 	"wsndse/internal/core"
 	ieee "wsndse/internal/ieee802154"
-	"wsndse/internal/platform"
+	"wsndse/internal/scenario"
 	"wsndse/internal/units"
 )
 
@@ -86,31 +85,33 @@ func (m *pollMAC) WorstCaseDelay(deltaTx []float64, n int) units.Seconds {
 }
 
 func main() {
-	cal := casestudy.DefaultCalibration()
-
-	// Six nodes identical to the case study's.
-	var nodes []*core.Node
-	kinds := casestudy.DefaultKinds(6)
-	for i, kind := range kinds {
-		profile, poly := app.DWTProfile(), cal.DWTPoly
-		if kind == casestudy.KindCS {
-			profile, poly = app.CSProfile(), cal.CSPoly
-		}
-		a, err := app.NewCompression(profile, 0.23, poly)
-		if err != nil {
-			log.Fatal(err)
-		}
-		nodes = append(nodes, &core.Node{
-			Name:       fmt.Sprintf("%s-%d", kind, i),
-			Platform:   platform.Shimmer(),
-			App:        a,
-			SampleFreq: casestudy.SampleRate,
-			MicroFreq:  8e6,
-		})
+	// The node set comes from the registered ECG ward scenario — the
+	// same nodes the rest of the stack explores — materialized at the
+	// scenario's deterministic feasible configuration.
+	sc, ok := scenario.Lookup("ecg-ward")
+	if !ok {
+		log.Fatal("ecg-ward not registered")
 	}
+	problem, err := scenario.NewProblem(sc, casestudy.DefaultCalibration())
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := problem.FeasibleParams()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ward, err := problem.Network(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := ward.Nodes
 
-	// Evaluate the same network under both MACs.
-	gts, err := core.NewGTSMac(ieee.SuperframeConfig{BeaconOrder: 3, SuperframeOrder: 2}, 48, 6)
+	// Evaluate the same network under both MACs: the scenario's
+	// beacon-enabled 802.15.4 superframe and the custom polling TDMA.
+	gts, err := core.NewGTSMac(ieee.SuperframeConfig{
+		BeaconOrder:     params.BeaconOrder,
+		SuperframeOrder: params.SuperframeOrder,
+	}, params.PayloadBytes, len(nodes))
 	if err != nil {
 		log.Fatal(err)
 	}

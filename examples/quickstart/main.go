@@ -1,5 +1,6 @@
-// Quickstart: build the paper's six-node ECG monitoring WBSN, evaluate it
-// with the analytical model, and read the three system-level metrics.
+// Quickstart: pick the paper's ECG ward from the scenario registry,
+// evaluate one configuration with the analytical model, and read the three
+// system-level metrics.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,26 +10,31 @@ import (
 	"log"
 
 	"wsndse/internal/casestudy"
-	"wsndse/internal/units"
+	"wsndse/internal/scenario"
 )
 
 func main() {
-	// The shipped calibration carries the fitted PRD polynomials; it is
-	// the output of one casestudy.Calibrate run over synthetic ECG.
-	cal := casestudy.DefaultCalibration()
-
-	// χ: beacon-enabled 802.15.4 with BI = 122.88 ms, an active portion
-	// of 61.44 ms, 48-byte frames; every node compresses to 23 % and
-	// clocks its microcontroller at 8 MHz.
-	params := casestudy.Params{
-		BeaconOrder:     3,
-		SuperframeOrder: 2,
-		PayloadBytes:    48,
-		CR:              []float64{0.23, 0.23, 0.23, 0.23, 0.23, 0.23},
-		MicroFreq:       []units.Hertz{8e6, 8e6, 8e6, 8e6, 8e6, 8e6},
+	// The registry ships the paper's §4 case study as "ecg-ward"; every
+	// other registered scenario works the same way (try "mixed-ward").
+	sc, ok := scenario.Lookup("ecg-ward")
+	if !ok {
+		log.Fatal("ecg-ward not registered")
+	}
+	problem, err := scenario.NewProblem(sc, casestudy.DefaultCalibration())
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	net, err := params.Network(cal, 0.5)
+	// FeasibleParams is the scenario's deterministic "reasonable default"
+	// configuration — mid-grid when the model accepts it.
+	params, err := problem.FeasibleParams()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %s: BO=%d SO=%d payload=%dB\n",
+		sc.Name, params.BeaconOrder, params.SuperframeOrder, params.PayloadBytes)
+
+	net, err := problem.Network(params)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,11 +45,11 @@ func main() {
 
 	fmt.Println("per-node energy (Eq. 7):")
 	for i, n := range net.Nodes {
-		fmt.Printf("  %-8s %v (sensor %v, µC %v, memory %v, radio %v)\n",
-			n.Name, ev.PerNode[i].Total, ev.PerNode[i].Sensor,
+		fmt.Printf("  %-8s CR=%.2f f=%v: %v (sensor %v, µC %v, memory %v, radio %v)\n",
+			n.Name, params.CR[i], n.MicroFreq, ev.PerNode[i].Total, ev.PerNode[i].Sensor,
 			ev.PerNode[i].Micro, ev.PerNode[i].Memory, ev.PerNode[i].Radio)
 	}
-	fmt.Printf("\nnetwork metrics (Eq. 8, ϑ = 0.5):\n")
+	fmt.Printf("\nnetwork metrics (Eq. 8, ϑ = %.1f):\n", sc.Theta)
 	fmt.Printf("  energy  %v\n", ev.Energy)
 	fmt.Printf("  quality %.2f %% PRD\n", ev.Quality)
 	fmt.Printf("  delay   %v (Eq. 9 worst case)\n", ev.Delay)

@@ -13,6 +13,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"wsndse/internal/casestudy"
 	"wsndse/internal/dse"
 )
@@ -46,6 +48,40 @@ func (e *Evaluator) Evaluate(c dse.Config) (dse.Objectives, error) {
 		return nil, err
 	}
 	return dse.Objectives{float64(ev.Energy), float64(ev.Delay)}, nil
+}
+
+// Projection exposes a subset of a full evaluator's objectives — the
+// application-blind energy/delay silhouette generalized beyond the case
+// study, so any scenario's three-objective evaluator can be compared
+// against its own baseline view.
+type Projection struct {
+	Full dse.Evaluator
+	Idx  []int
+}
+
+// Project wraps a full evaluator, keeping only the objectives at the given
+// indices (in that order).
+func Project(full dse.Evaluator, idx ...int) *Projection {
+	return &Projection{Full: full, Idx: idx}
+}
+
+// NumObjectives returns the projected dimension.
+func (p *Projection) NumObjectives() int { return len(p.Idx) }
+
+// Evaluate runs the full model and drops the hidden objectives.
+func (p *Projection) Evaluate(c dse.Config) (dse.Objectives, error) {
+	objs, err := p.Full.Evaluate(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make(dse.Objectives, len(p.Idx))
+	for i, j := range p.Idx {
+		if j < 0 || j >= len(objs) {
+			return nil, fmt.Errorf("baseline: projection index %d out of range for %d objectives", j, len(objs))
+		}
+		out[i] = objs[j]
+	}
+	return out, nil
 }
 
 // Lift re-evaluates a 2-objective front under the full 3-metric model so

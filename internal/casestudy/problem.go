@@ -18,21 +18,30 @@ const DefaultNodes = 6
 // SampleRate is the ECG sampling frequency fixed by the signal (§4.3).
 const SampleRate units.Hertz = 250
 
-// Kind labels a node's compression application.
+// Kind labels a node's application.
 type Kind int
 
-// Node kinds. The case study splits the network half and half.
+// Node kinds. The case study splits the network half and half between the
+// two compressors; KindRaw (an uncompressed passthrough stream) exists for
+// heterogeneous scenarios beyond the paper's §4 network.
 const (
 	KindDWT Kind = iota
 	KindCS
+	KindRaw
 )
 
 // String names the kind.
 func (k Kind) String() string {
-	if k == KindDWT {
+	switch k {
+	case KindDWT:
 		return "dwt"
+	case KindCS:
+		return "cs"
+	case KindRaw:
+		return "raw"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
 	}
-	return "cs"
 }
 
 // DefaultKinds assigns the first half of the nodes to DWT and the rest to
@@ -55,6 +64,17 @@ type Params struct {
 	PayloadBytes    int           // L_payload
 	CR              []float64     // per node
 	MicroFreq       []units.Hertz // per node
+	// Kinds optionally assigns each node its application kind; nil keeps
+	// the paper's half-DWT/half-CS split (DefaultKinds).
+	Kinds []Kind
+}
+
+// kinds resolves the per-node application assignment.
+func (p Params) kinds() []Kind {
+	if p.Kinds != nil {
+		return p.Kinds
+	}
+	return DefaultKinds(len(p.CR))
 }
 
 // Validate checks structural consistency (not feasibility).
@@ -62,18 +82,22 @@ func (p Params) Validate() error {
 	if len(p.CR) == 0 || len(p.CR) != len(p.MicroFreq) {
 		return fmt.Errorf("casestudy: %d CRs vs %d frequencies", len(p.CR), len(p.MicroFreq))
 	}
+	if p.Kinds != nil && len(p.Kinds) != len(p.CR) {
+		return fmt.Errorf("casestudy: %d kinds vs %d nodes", len(p.Kinds), len(p.CR))
+	}
 	sf := ieee.SuperframeConfig{BeaconOrder: p.BeaconOrder, SuperframeOrder: p.SuperframeOrder}
 	return sf.Validate()
 }
 
 // Network materializes the configuration as a core.Network over the given
-// calibration. Node i's application kind follows DefaultKinds.
+// calibration. Node i's application kind follows Kinds, defaulting to the
+// paper's DefaultKinds split.
 func (p Params) Network(cal *Calibration, theta float64) (*core.Network, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(p.CR)
-	kinds := DefaultKinds(n)
+	kinds := p.kinds()
 	mac, err := core.NewGTSMac(ieee.SuperframeConfig{
 		BeaconOrder:     p.BeaconOrder,
 		SuperframeOrder: p.SuperframeOrder,
@@ -83,7 +107,7 @@ func (p Params) Network(cal *Calibration, theta float64) (*core.Network, error) 
 	}
 	nodes := make([]*core.Node, n)
 	for i := 0; i < n; i++ {
-		a, err := newApp(cal, kinds[i], p.CR[i])
+		a, err := AppFor(cal, kinds[i], p.CR[i])
 		if err != nil {
 			return nil, err
 		}
@@ -126,12 +150,18 @@ func (p Params) SimConfig(cal *Calibration, duration units.Seconds, seed int64) 
 	}, nil
 }
 
-func newApp(cal *Calibration, kind Kind, cr float64) (app.Application, error) {
+// AppFor builds the application for one node kind: the calibrated DWT or
+// CS compressor at the given compression ratio, or the lossless
+// passthrough for raw-streaming nodes (whose CR is ignored — they always
+// forward at CR 1).
+func AppFor(cal *Calibration, kind Kind, cr float64) (app.Application, error) {
 	switch kind {
 	case KindDWT:
 		return app.NewCompression(app.DWTProfile(), cr, cal.DWTPoly)
 	case KindCS:
 		return app.NewCompression(app.CSProfile(), cr, cal.CSPoly)
+	case KindRaw:
+		return app.Passthrough{}, nil
 	default:
 		return nil, fmt.Errorf("casestudy: unknown kind %d", kind)
 	}

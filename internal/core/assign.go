@@ -40,23 +40,44 @@ type Assignment struct {
 // MAC's capacity, so DSE can treat the configuration as constraint-
 // violating rather than erroring out.
 func Assign(mac MAC, phiOut []units.BytesPerSecond) (*Assignment, error) {
+	return AssignHetero(mac, nil, phiOut)
+}
+
+// AssignHetero solves Eq. 1 for a heterogeneous star: views[i], when
+// non-nil, is node i's own view of the shared MAC (e.g. a per-node payload
+// profile changing T_tx and the quanta floor), while the base MAC fixes
+// the channel geometry every node shares — the quantum δ, the assignable
+// capacity, and Δ_control. Views must agree with the base on the quantum,
+// since every Δ_tx is an integer multiple of the same slot. A nil views
+// slice (or nil entries) reduces to the homogeneous Assign.
+func AssignHetero(base MAC, views []MAC, phiOut []units.BytesPerSecond) (*Assignment, error) {
 	if len(phiOut) == 0 {
 		return nil, fmt.Errorf("core: Assign: no nodes")
 	}
-	delta := mac.Quantum()
-	if delta <= 0 {
-		return nil, fmt.Errorf("core: Assign: MAC %q has non-positive quantum %g", mac.Name(), delta)
+	if views != nil && len(views) != len(phiOut) {
+		return nil, fmt.Errorf("core: Assign: %d MAC views for %d nodes", len(views), len(phiOut))
 	}
-	capacity := mac.Capacity()
+	delta := base.Quantum()
+	if delta <= 0 {
+		return nil, fmt.Errorf("core: Assign: MAC %q has non-positive quantum %g", base.Name(), delta)
+	}
+	capacity := base.Capacity()
 
 	a := &Assignment{
 		K:           make([]int, len(phiOut)),
 		DeltaTx:     make([]float64, len(phiOut)),
 		Capacity:    capacity,
-		ControlTime: mac.ControlTime(),
+		ControlTime: base.ControlTime(),
 	}
-	qf, hasFloor := mac.(QuantaFloor)
 	for i, phi := range phiOut {
+		mac := base
+		if views != nil && views[i] != nil {
+			mac = views[i]
+			if q := mac.Quantum(); math.Abs(q-delta) > 1e-15 {
+				return nil, fmt.Errorf("core: Assign: node %d view %q has quantum %g, base %q has %g",
+					i, mac.Name(), q, base.Name(), delta)
+			}
+		}
 		if phi < 0 {
 			return nil, fmt.Errorf("core: Assign: node %d has negative output rate %g", i, float64(phi))
 		}
@@ -68,7 +89,7 @@ func Assign(mac MAC, phiOut []units.BytesPerSecond) (*Assignment, error) {
 		if k == 0 && phi > 0 {
 			k = 1 // a nonzero stream always needs at least one quantum
 		}
-		if hasFloor {
+		if qf, ok := mac.(QuantaFloor); ok {
 			if mk := qf.MinQuanta(phi); k < mk {
 				k = mk
 			}
@@ -80,7 +101,7 @@ func Assign(mac MAC, phiOut []units.BytesPerSecond) (*Assignment, error) {
 	if a.Used > capacity+1e-12 {
 		return nil, Infeasible(
 			"transmission demand %.6f s/s exceeds MAC %q capacity %.6f s/s (N=%d nodes)",
-			a.Used, mac.Name(), capacity, len(phiOut))
+			a.Used, base.Name(), capacity, len(phiOut))
 	}
 	a.Idle = 1 - a.Used - a.ControlTime
 	if a.Idle < 0 {
@@ -88,7 +109,7 @@ func Assign(mac MAC, phiOut []units.BytesPerSecond) (*Assignment, error) {
 		// second; a violation means the MAC's Capacity and
 		// ControlTime disagree.
 		return nil, fmt.Errorf("core: Assign: MAC %q accounting broken: used %.6f + control %.6f > 1",
-			mac.Name(), a.Used, a.ControlTime)
+			base.Name(), a.Used, a.ControlTime)
 	}
 	return a, nil
 }

@@ -13,9 +13,23 @@ import (
 type Network struct {
 	Nodes []*Node
 	MAC   MAC
+	// NodeMACs optionally gives node i its own view of the shared MAC —
+	// e.g. a per-node payload profile in a heterogeneous star. A nil
+	// slice (or nil entry) falls back to MAC. Views must share the base
+	// MAC's channel geometry: quantum, capacity and control time come
+	// from MAC; per-node Ω/Ψ/T_tx and delay bounds come from the view.
+	NodeMACs []MAC
 	// Theta is ϑ: how strongly imbalance between nodes is penalized in
 	// the combined metrics. Zero reduces Eq. 8 to the plain mean.
 	Theta float64
+}
+
+// macFor resolves node i's MAC view.
+func (net *Network) macFor(i int) MAC {
+	if i < len(net.NodeMACs) && net.NodeMACs[i] != nil {
+		return net.NodeMACs[i]
+	}
+	return net.MAC
 }
 
 // Evaluation is the complete system-level result for one configuration:
@@ -62,12 +76,15 @@ func (net *Network) Evaluate() (*Evaluation, error) {
 	if net.Theta < 0 {
 		return nil, fmt.Errorf("core: Evaluate: negative balance weight ϑ=%g", net.Theta)
 	}
+	if len(net.NodeMACs) != 0 && len(net.NodeMACs) != len(net.Nodes) {
+		return nil, fmt.Errorf("core: Evaluate: %d MAC views for %d nodes", len(net.NodeMACs), len(net.Nodes))
+	}
 
 	phiOut := make([]units.BytesPerSecond, len(net.Nodes))
 	for i, n := range net.Nodes {
 		phiOut[i] = n.OutputRate()
 	}
-	assignment, err := Assign(net.MAC, phiOut)
+	assignment, err := AssignHetero(net.MAC, net.NodeMACs, phiOut)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +97,7 @@ func (net *Network) Evaluate() (*Evaluation, error) {
 	}
 	energies := make([]float64, len(net.Nodes))
 	for i, n := range net.Nodes {
-		eb, err := n.Energy(net.MAC)
+		eb, err := n.Energy(net.macFor(i))
 		if err != nil {
 			return nil, err
 		}
@@ -89,15 +106,21 @@ func (net *Network) Evaluate() (*Evaluation, error) {
 		ev.PerNodeQuality[i] = n.App.Quality(n.InputRate())
 	}
 
-	if db, ok := net.MAC.(DelayBound); ok {
-		for i := range net.Nodes {
+	// Each node's bound comes from its own MAC view (a per-node payload
+	// profile changes the 2·T_svc term of Eq. 9); the bound is reported
+	// only when every view can provide one.
+	allBounded := true
+	for i := range net.Nodes {
+		if db, ok := net.macFor(i).(DelayBound); ok {
 			ev.PerNodeDelay[i] = float64(db.WorstCaseDelay(assignment.DeltaTx, i))
+		} else {
+			ev.PerNodeDelay[i] = math.NaN()
+			allBounded = false
 		}
+	}
+	if allBounded {
 		ev.Delay = units.Seconds(Combine(ev.PerNodeDelay, net.Theta))
 	} else {
-		for i := range ev.PerNodeDelay {
-			ev.PerNodeDelay[i] = math.NaN()
-		}
 		ev.Delay = units.Seconds(math.NaN())
 	}
 
@@ -113,6 +136,9 @@ func (net *Network) Validate() error {
 	}
 	if net.MAC == nil {
 		return fmt.Errorf("core: network has no MAC")
+	}
+	if len(net.NodeMACs) != 0 && len(net.NodeMACs) != len(net.Nodes) {
+		return fmt.Errorf("core: %d MAC views for %d nodes", len(net.NodeMACs), len(net.Nodes))
 	}
 	for _, n := range net.Nodes {
 		if err := n.Validate(); err != nil {

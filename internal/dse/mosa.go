@@ -6,7 +6,12 @@ import (
 	"math/rand"
 )
 
-// MOSAConfig parameterizes multi-objective simulated annealing.
+// MOSAConfig parameterizes multi-objective simulated annealing. Zero
+// values select the documented defaults; out-of-domain values (negative
+// budgets or temperatures, a budget smaller than the chain count) are
+// rejected by MOSA with a descriptive error rather than silently
+// degenerating into zero-length chains. Seed may be any value — every
+// seed defines a valid deterministic run.
 type MOSAConfig struct {
 	Iterations  int     // total across all chains; default 5000
 	InitialTemp float64 // default 1.0
@@ -19,6 +24,20 @@ type MOSAConfig struct {
 	// bit-identical at any worker count; the per-chain archives merge
 	// into the returned front in chain order.
 	Workers int
+}
+
+// validate rejects out-of-domain values before defaulting.
+func (c MOSAConfig) validate() error {
+	if c.Iterations < 0 {
+		return fmt.Errorf("dse: MOSA iteration budget %d is negative (use 0 for the default)", c.Iterations)
+	}
+	if c.Restarts < 0 {
+		return fmt.Errorf("dse: MOSA restart count %d is negative (use 0 for the default)", c.Restarts)
+	}
+	if c.InitialTemp < 0 {
+		return fmt.Errorf("dse: MOSA initial temperature %g is negative (use 0 for the default)", c.InitialTemp)
+	}
+	return nil
 }
 
 func (c MOSAConfig) withDefaults() MOSAConfig {
@@ -62,9 +81,16 @@ func MOSA(space *Space, eval Evaluator, cfg MOSAConfig) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if cfg.Cooling <= 0 || cfg.Cooling >= 1 {
 		return nil, fmt.Errorf("dse: cooling factor %g must be in (0,1)", cfg.Cooling)
+	}
+	if cfg.Iterations < cfg.Restarts {
+		return nil, fmt.Errorf("dse: MOSA budget of %d iterations gives the %d chains zero length",
+			cfg.Iterations, cfg.Restarts)
 	}
 	pe := NewParallelEvaluator(eval, cfg.Workers)
 

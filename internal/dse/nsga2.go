@@ -7,9 +7,13 @@ import (
 	"sort"
 )
 
-// NSGA2Config parameterizes the genetic algorithm.
+// NSGA2Config parameterizes the genetic algorithm. Zero values select the
+// documented defaults; out-of-domain values (negative sizes, probabilities
+// outside [0,1]) are rejected by NSGA2 with a descriptive error rather
+// than silently degenerating the search. Seed may be any value — every
+// seed defines a valid deterministic run.
 type NSGA2Config struct {
-	PopulationSize int     // default 64
+	PopulationSize int     // default 64; must be even and ≥ 4
 	Generations    int     // default 50
 	CrossoverProb  float64 // default 0.9
 	MutationProb   float64 // per gene; default 1/len(genes)
@@ -20,6 +24,23 @@ type NSGA2Config struct {
 	// seeded RNG stream independent of evaluation scheduling, and points
 	// enter the archive in offspring order.
 	Workers int
+}
+
+// validate rejects out-of-domain values before defaulting.
+func (c NSGA2Config) validate() error {
+	if c.PopulationSize < 0 {
+		return fmt.Errorf("dse: NSGA-II population size %d is negative (use 0 for the default)", c.PopulationSize)
+	}
+	if c.Generations < 0 {
+		return fmt.Errorf("dse: NSGA-II generation count %d is negative (use 0 for the default)", c.Generations)
+	}
+	if c.CrossoverProb < 0 || c.CrossoverProb > 1 {
+		return fmt.Errorf("dse: NSGA-II crossover probability %g out of [0,1]", c.CrossoverProb)
+	}
+	if c.MutationProb < 0 || c.MutationProb > 1 {
+		return fmt.Errorf("dse: NSGA-II mutation probability %g out of [0,1]", c.MutationProb)
+	}
+	return nil
 }
 
 func (c NSGA2Config) withDefaults(genes int) NSGA2Config {
@@ -50,6 +71,9 @@ func (c NSGA2Config) withDefaults(genes int) NSGA2Config {
 // EvaluateBatch across cfg.Workers.
 func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
 	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults(len(space.Params))

@@ -251,3 +251,42 @@ func Coverage(a, b []Point) float64 {
 	}
 	return float64(covered) / float64(len(b))
 }
+
+// BalancedPoint returns the front point minimizing the normalized
+// euclidean distance to the per-objective minima — the "decent everything"
+// pick a deployment would make from a Pareto front. Ties resolve to the
+// earliest point, so the choice is deterministic for a deterministic
+// front. It panics on an empty front.
+func BalancedPoint(front []Point) Point {
+	if len(front) == 0 {
+		panic("dse: BalancedPoint on empty front")
+	}
+	m := len(front[0].Objs)
+	lo := append([]float64(nil), front[0].Objs...)
+	hi := append([]float64(nil), front[0].Objs...)
+	for _, p := range front {
+		for j, o := range p.Objs {
+			if o < lo[j] {
+				lo[j] = o
+			}
+			if o > hi[j] {
+				hi[j] = o
+			}
+		}
+	}
+	best, bestD := 0, math.Inf(1)
+	for i, p := range front {
+		var d float64
+		for j := 0; j < m && j < len(p.Objs); j++ {
+			if hi[j] == lo[j] {
+				continue
+			}
+			n := (p.Objs[j] - lo[j]) / (hi[j] - lo[j])
+			d += n * n
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return front[best]
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sweepTestConfig keeps the harness fast enough for -race CI runs.
+func sweepTestConfig(workers int) ScenarioSweepConfig {
+	return ScenarioSweepConfig{
+		PopulationSize:    16,
+		Generations:       4,
+		Seed:              11,
+		SimDuration:       8,
+		StarvationNodes:   []int{6, 7, 8},
+		StarvationSamples: 50,
+		Workers:           workers,
+	}
+}
+
+func TestScenarioSweep(t *testing.T) {
+	res, err := ScenarioSweep(sweepTestConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatalf("swept only %d scenarios", len(res.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range res.Rows {
+		seen[row.Name] = true
+	}
+	for _, want := range []string{"ecg-ward", "mixed-ward", "athletes", "dense-gts"} {
+		if !seen[want] {
+			t.Errorf("scenario %q missing from sweep", want)
+		}
+	}
+
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "dense-gts") || !strings.Contains(out, "starvation") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < len(res.Rows)+len(res.Starvation)+1 {
+		t.Errorf("CSV has %d lines for %d rows + %d starvation entries",
+			len(lines), len(res.Rows), len(res.Starvation))
+	}
+	if !strings.HasPrefix(lines[0], "scenario,kind,energy_w") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+}
+
+// TestScenarioSweepWorkerInvariance asserts the sweep is bit-identical
+// at different worker counts — the PR-1 determinism contract extended to
+// the scenario harness.
+func TestScenarioSweepWorkerInvariance(t *testing.T) {
+	seq, err := ScenarioSweep(sweepTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ScenarioSweep(sweepTestConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("sweep results differ between 1 and 4 workers")
+	}
+}
+
+func TestScenarioSweepUnknownScenario(t *testing.T) {
+	cfg := sweepTestConfig(1)
+	cfg.Names = []string{"no-such-scenario"}
+	if _, err := ScenarioSweep(cfg); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+}
+
+func TestStarvationCliff(t *testing.T) {
+	res, err := ScenarioSweep(sweepTestConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Starvation {
+		if s.Nodes <= 7 && s.Feasible == 0 {
+			t.Errorf("%d nodes: no feasible configurations sampled", s.Nodes)
+		}
+		if s.Nodes > 7 && s.Feasible > 0 {
+			t.Errorf("%d nodes: %d feasible configurations past the 7-slot budget", s.Nodes, s.Feasible)
+		}
+	}
+}

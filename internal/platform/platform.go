@@ -129,6 +129,38 @@ func Shimmer() Platform {
 	}
 }
 
+// TelosB returns a TelosB-class telemetry mote: the same MSP430
+// microcontroller family and CC2420-class radio as the Shimmer, but a
+// duty-cycled digital telemetry front end (temperature/humidity,
+// SHT11-class) in place of the ECG chain. Chipset-dependent coefficients
+// like these shift where the energy-performance trade-off lies, which is
+// why heterogeneous scenarios mix platforms rather than cloning one.
+func TelosB() Platform {
+	return Platform{
+		Name: "telosb",
+		Sensor: SensorModel{
+			TransducerPower: 0.09e-3, // duty-cycled digital sensor
+			Alpha1:          1.1e-6,  // J per 14-bit conversion
+			Alpha0:          0.05e-3,
+		},
+		Micro: MicroModel{
+			Alpha1: 0.66e-9, // MSP430F1611-class at 3 V
+			Alpha0: 0.18e-3,
+		},
+		Memory: MemoryModel{
+			AccessTime:   100e-9,
+			AccessPower:  0.8e-3,
+			BitIdlePower: 10e-12,
+			SizeBytes:    10 * 1024,
+		},
+		Radio:   radio.DefaultCC2420(),
+		ADCBits: 12,
+		MicroFreqs: []units.Hertz{
+			1e6, 2e6, 4e6, 8e6,
+		},
+	}
+}
+
 // Validate checks the platform for physical plausibility.
 func (p Platform) Validate() error {
 	if p.ADCBits < 1 || p.ADCBits > 24 {

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry is process-wide and safe for concurrent use; built-in
+// scenarios register at init, and tests or embedding programs may add
+// their own.
+var registry = struct {
+	mu     sync.RWMutex
+	byName map[string]Scenario
+}{byName: map[string]Scenario{}}
+
+// Register validates s and adds it to the registry. Duplicate names are an
+// error: a scenario is an identity, not a setting to silently overwrite.
+func Register(s Scenario) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.byName[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	registry.byName[s.Name] = s.clone()
+	return nil
+}
+
+// MustRegister is Register for init-time use.
+func MustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named scenario. The copy is deep: mutating it (e.g.
+// to derive a variant) never touches the registry.
+func Lookup(name string) (Scenario, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	s, ok := registry.byName[name]
+	if !ok {
+		return Scenario{}, false
+	}
+	return s.clone(), true
+}
+
+// List returns every registered scenario sorted by name, so listings and
+// sweeps are deterministic. Like Lookup, the copies are deep.
+func List() []Scenario {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Scenario, 0, len(registry.byName))
+	for _, s := range registry.byName {
+		out = append(out, s.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted registered names.
+func Names() []string {
+	scs := List()
+	names := make([]string, len(scs))
+	for i, s := range scs {
+		names[i] = s.Name
+	}
+	return names
+}

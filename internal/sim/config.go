@@ -15,11 +15,15 @@ type ArrivalModel int
 
 // Arrival models.
 const (
+	// ArrivalDefault defers to the surrounding default: on a NodeConfig
+	// it inherits the Config-level model, on a Config it means uniform.
+	// Being the zero value, per-node overrides are strictly opt-in.
+	ArrivalDefault ArrivalModel = iota
 	// ArrivalUniform streams output bytes at the constant rate φ_out —
 	// the paper's assumption ("the nature of data compression ... leads
 	// to a uniform output rate", §4.2) under which the Eq. 9 delay
 	// bound is valid.
-	ArrivalUniform ArrivalModel = iota
+	ArrivalUniform
 	// ArrivalBlock releases a whole compressed block at once every
 	// block period — the bursty behaviour of a block codec without
 	// output smoothing. Provided for the ablation showing how the
@@ -30,6 +34,8 @@ const (
 // String names the arrival model.
 func (a ArrivalModel) String() string {
 	switch a {
+	case ArrivalDefault:
+		return "default"
 	case ArrivalUniform:
 		return "uniform"
 	case ArrivalBlock:
@@ -39,7 +45,10 @@ func (a ArrivalModel) String() string {
 	}
 }
 
-// NodeConfig describes one simulated node.
+// NodeConfig describes one simulated node. Payload and arrival overrides
+// make the star heterogeneous: a ward can mix ECG compressors shipping
+// full frames, low-rate telemetry motes on short frames, and bursty
+// block-codec nodes in one superframe.
 type NodeConfig struct {
 	Name       string
 	Platform   platform.Platform
@@ -49,6 +58,28 @@ type NodeConfig struct {
 	// Slots is the node's GTS allocation per superframe (the k^(n) of
 	// the model's assignment).
 	Slots int
+	// PayloadBytes overrides the network payload L_payload for this
+	// node's frames (0 inherits Config.PayloadBytes).
+	PayloadBytes int
+	// Arrival overrides the traffic model for this node
+	// (ArrivalDefault inherits Config.Arrival).
+	Arrival ArrivalModel
+}
+
+// payload resolves the node's effective frame payload.
+func (n NodeConfig) payload(networkPayload int) int {
+	if n.PayloadBytes > 0 {
+		return n.PayloadBytes
+	}
+	return networkPayload
+}
+
+// arrival resolves the node's effective traffic model.
+func (n NodeConfig) arrival(networkArrival ArrivalModel) ArrivalModel {
+	if n.Arrival != ArrivalDefault {
+		return n.Arrival
+	}
+	return networkArrival
 }
 
 // Config describes one simulation run.
@@ -93,6 +124,9 @@ type Config struct {
 
 // withDefaults fills zero values.
 func (c Config) withDefaults() Config {
+	if c.Arrival == ArrivalDefault {
+		c.Arrival = ArrivalUniform
+	}
 	if c.BlockSamples == 0 {
 		c.BlockSamples = 512
 	}
@@ -131,6 +165,9 @@ func (c Config) Validate() error {
 	if c.PacketErrorRate < 0 || c.PacketErrorRate >= 1 {
 		return fmt.Errorf("sim: packet error rate %g out of [0,1)", c.PacketErrorRate)
 	}
+	if c.Arrival != ArrivalDefault && c.Arrival != ArrivalUniform && c.Arrival != ArrivalBlock {
+		return fmt.Errorf("sim: unknown arrival model %v", c.Arrival)
+	}
 	totalSlots := 0
 	for i, n := range c.Nodes {
 		if n.App == nil {
@@ -141,6 +178,13 @@ func (c Config) Validate() error {
 		}
 		if n.Slots < 0 {
 			return fmt.Errorf("sim: node %d (%s) has negative slot count", i, n.Name)
+		}
+		if n.PayloadBytes < 0 || n.PayloadBytes > ieee.MaxDataPayload {
+			return fmt.Errorf("sim: node %d (%s) payload override %d out of range [0,%d]",
+				i, n.Name, n.PayloadBytes, ieee.MaxDataPayload)
+		}
+		if a := n.Arrival; a != ArrivalDefault && a != ArrivalUniform && a != ArrivalBlock {
+			return fmt.Errorf("sim: node %d (%s) has unknown arrival model %v", i, n.Name, a)
 		}
 		if err := n.Platform.Validate(); err != nil {
 			return fmt.Errorf("sim: node %d (%s): %w", i, n.Name, err)

@@ -34,9 +34,11 @@ type simNode struct {
 	radio     *radioAccount
 	busyUntil float64 // last scheduled radio state change
 
-	phiOut    float64 // B/s
-	startSlot int     // first GTS slot in the superframe
-	endSlot   int     // one past the last GTS slot
+	phiOut    float64      // B/s
+	payload   int          // effective frame payload (per-node override resolved)
+	arrival   ArrivalModel // effective traffic model
+	startSlot int          // first GTS slot in the superframe
+	endSlot   int          // one past the last GTS slot
 
 	queue     []*packet
 	queuePeak int
@@ -90,10 +92,12 @@ func Run(cfg Config) (*Result, error) {
 	nextEnd := ieee.ANumSuperframeSlots
 	for i, nc := range cfg.Nodes {
 		n := &simNode{
-			cfg:    nc,
-			idx:    i,
-			radio:  newRadioAccount(nc.Platform.Radio),
-			phiOut: float64(nc.App.OutputRate(nc.Platform.InputRate(nc.SampleFreq))),
+			cfg:     nc,
+			idx:     i,
+			radio:   newRadioAccount(nc.Platform.Radio),
+			phiOut:  float64(nc.App.OutputRate(nc.Platform.InputRate(nc.SampleFreq))),
+			payload: nc.payload(cfg.PayloadBytes),
+			arrival: nc.arrival(cfg.Arrival),
 		}
 		n.endSlot = nextEnd
 		n.startSlot = nextEnd - nc.Slots
@@ -119,14 +123,6 @@ func Run(cfg Config) (*Result, error) {
 	return s.collect(dur), nil
 }
 
-func totalSlots(cfg Config) int {
-	t := 0
-	for _, n := range cfg.Nodes {
-		t += n.Slots
-	}
-	return t
-}
-
 // gtsDescriptors counts the beacon's GTS descriptor list: one per node
 // holding at least one slot.
 func gtsDescriptors(cfg Config) int {
@@ -139,18 +135,19 @@ func gtsDescriptors(cfg Config) int {
 	return t
 }
 
-// startArrivals schedules the node's traffic process.
+// startArrivals schedules the node's traffic process under its effective
+// (per-node override or network default) arrival model and payload.
 func (s *simulation) startArrivals(n *simNode) {
-	switch s.cfg.Arrival {
+	switch n.arrival {
 	case ArrivalUniform:
 		if n.phiOut <= 0 {
 			return
 		}
-		interval := float64(s.cfg.PayloadBytes) / n.phiOut
+		interval := float64(n.payload) / n.phiOut
 		var emit func()
 		emit = func() {
 			now := s.eng.Now()
-			n.enqueue(&packet{payloadBytes: s.cfg.PayloadBytes, created: now})
+			n.enqueue(&packet{payloadBytes: n.payload, created: now})
 			s.eng.After(interval, emit)
 		}
 		s.eng.After(interval, emit)
@@ -162,9 +159,9 @@ func (s *simulation) startArrivals(n *simNode) {
 		emit = func() {
 			now := s.eng.Now()
 			n.carryBytes += blockBytes
-			for n.carryBytes >= float64(s.cfg.PayloadBytes) {
-				n.enqueue(&packet{payloadBytes: s.cfg.PayloadBytes, created: now})
-				n.carryBytes -= float64(s.cfg.PayloadBytes)
+			for n.carryBytes >= float64(n.payload) {
+				n.enqueue(&packet{payloadBytes: n.payload, created: now})
+				n.carryBytes -= float64(n.payload)
 			}
 			if whole := int(n.carryBytes); whole > 0 {
 				// Ship the block's tail as a short frame rather

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"wsndse/internal/app"
+	ieee "wsndse/internal/ieee802154"
+	"wsndse/internal/platform"
+)
+
+// heteroConfig builds a two-node star: one full-frame uniform streamer and
+// one short-frame node, optionally bursty.
+func heteroConfig(nodePayload int, nodeArrival ArrivalModel) Config {
+	sf := ieee.SuperframeConfig{BeaconOrder: 3, SuperframeOrder: 2}
+	mk := func(name string, payloadOverride int, arrival ArrivalModel) NodeConfig {
+		payload := payloadOverride
+		if payload == 0 {
+			payload = 48
+		}
+		return NodeConfig{
+			Name:         name,
+			Platform:     platform.Shimmer(),
+			App:          app.Passthrough{},
+			SampleFreq:   60, // φ_out = 90 B/s
+			MicroFreq:    8e6,
+			Slots:        SlotsFor(sf, payload, 90),
+			PayloadBytes: payloadOverride,
+			Arrival:      arrival,
+		}
+	}
+	return Config{
+		Superframe:   sf,
+		PayloadBytes: 48,
+		Nodes: []NodeConfig{
+			mk("full", 0, ArrivalDefault),
+			mk("short", nodePayload, nodeArrival),
+		},
+		Duration: 30,
+		Seed:     1,
+	}
+}
+
+func TestPerNodePayloadOverride(t *testing.T) {
+	res, err := Run(heteroConfig(16, ArrivalDefault))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, short := res.Nodes[0], res.Nodes[1]
+	if full.PacketsSent == 0 || short.PacketsSent == 0 {
+		t.Fatalf("both nodes must deliver packets: %+v, %+v", full, short)
+	}
+	// Same stream, 3× smaller frames: strictly more packets, and the
+	// per-packet overhead shows up as more radio energy.
+	if short.PacketsSent <= full.PacketsSent {
+		t.Errorf("16B node sent %d packets, 48B node %d — expected more short frames",
+			short.PacketsSent, full.PacketsSent)
+	}
+	if short.Energy.Radio <= full.Energy.Radio {
+		t.Errorf("16B node radio %v not above 48B node %v", short.Energy.Radio, full.Energy.Radio)
+	}
+	// Delivered byte totals stay within one frame of the offered load.
+	if diff := full.BytesDelivered - short.BytesDelivered; diff > 48 || diff < -48 {
+		t.Errorf("byte totals diverge: full %dB vs short %dB", full.BytesDelivered, short.BytesDelivered)
+	}
+}
+
+func TestPerNodeArrivalOverride(t *testing.T) {
+	cfg := heteroConfig(0, ArrivalBlock)
+	cfg.BlockSamples = 256
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, bursty := res.Nodes[0], res.Nodes[1]
+	if bursty.PacketsSent == 0 {
+		t.Fatal("bursty node delivered nothing")
+	}
+	// A block release queues several frames at once; the uniform node
+	// never holds more than a couple.
+	if bursty.QueuePeak <= uniform.QueuePeak {
+		t.Errorf("block-arrival queue peak %d not above uniform peak %d",
+			bursty.QueuePeak, uniform.QueuePeak)
+	}
+}
+
+func TestArrivalDefaultInherits(t *testing.T) {
+	// ArrivalDefault on the node and ArrivalUniform explicitly must be
+	// bit-identical runs.
+	a, err := Run(heteroConfig(0, ArrivalDefault))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := heteroConfig(0, ArrivalUniform)
+	b, err := Run(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("ArrivalDefault run differs from explicit ArrivalUniform run")
+	}
+}
+
+func TestValidateRejectsBadOverrides(t *testing.T) {
+	bad := heteroConfig(0, ArrivalDefault)
+	bad.Nodes[1].PayloadBytes = ieee.MaxDataPayload + 1
+	if _, err := Run(bad); err == nil {
+		t.Error("oversized per-node payload accepted")
+	}
+	bad = heteroConfig(0, ArrivalDefault)
+	bad.Nodes[1].Arrival = ArrivalModel(99)
+	if _, err := Run(bad); err == nil {
+		t.Error("unknown per-node arrival model accepted")
+	}
+	bad = heteroConfig(0, ArrivalDefault)
+	bad.Arrival = ArrivalModel(99)
+	if _, err := Run(bad); err == nil {
+		t.Error("unknown network arrival model accepted")
+	}
+}
