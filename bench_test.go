@@ -22,25 +22,56 @@ import (
 	"wsndse/internal/units"
 )
 
-// BenchmarkModelEvaluation times one full three-metric model evaluation —
-// the paper's "approximately 4800 evaluations per second" (§5.2). The
-// inverse of ns/op is the evaluations-per-second figure.
-func BenchmarkModelEvaluation(b *testing.B) {
-	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+// benchFeasibleConfig finds one feasible case-study configuration,
+// deterministically.
+func benchFeasibleConfig(b *testing.B, problem *casestudy.Problem) dse.Config {
+	b.Helper()
 	eval := problem.Evaluator()
 	rng := rand.New(rand.NewSource(1))
-	// A feasible configuration, found once.
-	var cfg dse.Config
 	for {
 		c := problem.Space().Random(rng)
 		if _, err := eval.Evaluate(c); err == nil {
-			cfg = c
-			break
+			return c
 		}
 	}
+}
+
+// BenchmarkModelEvaluation times one full three-metric model evaluation
+// through the reference (object-rebuilding) evaluator — the paper's
+// "approximately 4800 evaluations per second" (§5.2). The inverse of ns/op
+// is the evaluations-per-second figure.
+func BenchmarkModelEvaluation(b *testing.B) {
+	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+	eval := problem.Evaluator()
+	cfg := benchFeasibleConfig(b, problem)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.Evaluate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1e9/float64(b.Elapsed().Nanoseconds())*float64(b.N), "evals/s")
+}
+
+// BenchmarkModelEvaluationCompiled is BenchmarkModelEvaluation on the
+// compiled pipeline: pre-built MAC/application tables, scratch-reuse
+// evaluation into a caller buffer. The equivalence tests guarantee the
+// numbers are bit-identical to the reference evaluator's; this benchmark
+// shows the speedup and the zero allocs/op.
+func BenchmarkModelEvaluationCompiled(b *testing.B) {
+	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+	compiled, err := problem.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval := compiled.Evaluator().(dse.Forkable).Fork().(dse.IntoEvaluator)
+	cfg := benchFeasibleConfig(b, problem)
+	objs := make(dse.Objectives, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eval.EvaluateInto(cfg, objs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -210,9 +241,28 @@ func BenchmarkAssign(b *testing.B) {
 		b.Fatal(err)
 	}
 	phi := []units.BytesPerSecond{64, 86, 64, 120, 86, 143}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Assign(mac, phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssignInto times the scratch-reuse form of the Eq. 1–2 solver —
+// the one on the compiled hot path (0 allocs/op).
+func BenchmarkAssignInto(b *testing.B) {
+	mac, err := core.NewGTSMac(ieee.SuperframeConfig{BeaconOrder: 3, SuperframeOrder: 2}, 48, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phi := []units.BytesPerSecond{64, 86, 64, 120, 86, 143}
+	var a core.Assignment
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.AssignHeteroInto(&a, mac, nil, phi); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -253,21 +303,33 @@ func benchBatchConfigs(problem *casestudy.Problem, n int) []dse.Config {
 // benchEvaluateBatch times one 256-configuration batch through a fresh
 // ParallelEvaluator (fresh so the memo cache cannot trivialize the work).
 // Comparing the Sequential and Parallel variants measures the worker-pool
-// speedup of the batch runtime itself; evals/s is directly comparable to
+// speedup of the batch runtime itself; the Compiled variants swap in the
+// compiled pipeline. evals/s is directly comparable to
 // BenchmarkModelEvaluation.
-func benchEvaluateBatch(b *testing.B, workers int) {
+func benchEvaluateBatch(b *testing.B, workers int, compiled bool) {
 	problem := casestudy.NewProblem(casestudy.DefaultCalibration())
+	eval := problem.Evaluator()
+	if compiled {
+		c, err := problem.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval = c.Evaluator()
+	}
 	configs := benchBatchConfigs(problem, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pe := dse.NewParallelEvaluator(problem.Evaluator(), workers)
+		pe := dse.NewParallelEvaluator(eval, workers)
 		pe.EvaluateBatch(configs)
 	}
 	b.ReportMetric(float64(b.N*len(configs))/b.Elapsed().Seconds(), "evals/s")
 }
 
-func BenchmarkEvaluateBatchSequential(b *testing.B) { benchEvaluateBatch(b, 1) }
-func BenchmarkEvaluateBatchParallel(b *testing.B)   { benchEvaluateBatch(b, 0) }
+func BenchmarkEvaluateBatchSequential(b *testing.B)         { benchEvaluateBatch(b, 1, false) }
+func BenchmarkEvaluateBatchParallel(b *testing.B)           { benchEvaluateBatch(b, 0, false) }
+func BenchmarkEvaluateBatchCompiledSequential(b *testing.B) { benchEvaluateBatch(b, 1, true) }
+func BenchmarkEvaluateBatchCompiledParallel(b *testing.B)   { benchEvaluateBatch(b, 0, true) }
 
 // benchExplore times a full NSGA-II exploration of the case study at the
 // given worker count. The Sequential/Parallel pair demonstrates (rather

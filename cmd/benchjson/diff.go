@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// watchedMetrics are the metrics the diff gate tracks, with their
+// direction: true means higher is worse (ns/op), false means lower is
+// worse (evals/s). Other metrics (error percentages, front sizes) are
+// workload properties, not performance, and stay out of the gate.
+var watchedMetrics = []struct {
+	unit        string
+	higherWorse bool
+}{
+	{"ns/op", true},
+	{"evals/s", false},
+}
+
+// DiffRow is one (benchmark, metric) comparison.
+type DiffRow struct {
+	Benchmark string  // package-qualified name
+	Metric    string  // metric unit
+	Base      float64 // baseline value
+	Current   float64 // current value
+	DeltaPct  float64 // signed percent change, worse-direction positive
+	Regressed bool    // beyond the threshold in the worse direction
+}
+
+// Diff compares the current document against the baseline on the watched
+// metrics, flagging changes beyond thresholdPct in each metric's worse
+// direction. Rows come back sorted worst-first; missing counts benchmarks
+// present on only one side (renames, additions, removals).
+func Diff(baseline, current *Document, thresholdPct float64) (rows []DiffRow, missing []string) {
+	key := func(b Benchmark) string {
+		if b.Package == "" {
+			return b.Name
+		}
+		return b.Package + "." + b.Name
+	}
+	base := map[string]Benchmark{}
+	for _, b := range baseline.Benchmarks {
+		base[key(b)] = b
+	}
+	seen := map[string]bool{}
+	for _, cur := range current.Benchmarks {
+		k := key(cur)
+		seen[k] = true
+		b, ok := base[k]
+		if !ok {
+			missing = append(missing, k+" (new)")
+			continue
+		}
+		for _, m := range watchedMetrics {
+			bv, bok := b.Metrics[m.unit]
+			cv, cok := cur.Metrics[m.unit]
+			if !bok || !cok || bv == 0 {
+				continue
+			}
+			delta := (cv - bv) / bv * 100
+			if !m.higherWorse {
+				delta = -delta // worse-direction positive for both metrics
+			}
+			rows = append(rows, DiffRow{
+				Benchmark: k,
+				Metric:    m.unit,
+				Base:      bv,
+				Current:   cv,
+				DeltaPct:  delta,
+				Regressed: delta > thresholdPct,
+			})
+		}
+	}
+	for _, b := range baseline.Benchmarks {
+		if !seen[key(b)] {
+			missing = append(missing, key(b)+" (removed)")
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].DeltaPct > rows[j].DeltaPct })
+	sort.Strings(missing)
+	return rows, missing
+}
+
+// RenderDiff writes the comparison as a GitHub-flavored markdown table —
+// the format the CI job appends to its step summary.
+func RenderDiff(w io.Writer, rows []DiffRow, missing []string, thresholdPct float64) {
+	regressions := 0
+	for _, r := range rows {
+		if r.Regressed {
+			regressions++
+		}
+	}
+	fmt.Fprintf(w, "## Benchmark diff vs committed baseline (gate: ±%.0f%% on ns/op and evals/s)\n\n", thresholdPct)
+	if regressions == 0 {
+		fmt.Fprintf(w, "No regressions beyond %.0f%% across %d comparisons.\n\n", thresholdPct, len(rows))
+	} else {
+		fmt.Fprintf(w, "**%d regression(s)** beyond %.0f%% across %d comparisons.\n\n", regressions, thresholdPct, len(rows))
+	}
+	fmt.Fprintln(w, "| benchmark | metric | baseline | current | change | status |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		status := "ok"
+		switch {
+		case r.Regressed:
+			status = "⚠️ REGRESSED"
+		case r.DeltaPct < -thresholdPct:
+			status = "🚀 improved"
+		}
+		// DeltaPct is worse-direction positive; render the raw signed
+		// change of the metric itself so the table reads naturally.
+		raw := (r.Current - r.Base) / r.Base * 100
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %+.1f%% | %s |\n",
+			r.Benchmark, r.Metric, humanize(r.Base), humanize(r.Current), raw, status)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(w, "\nUnmatched benchmarks (no comparison): %d\n\n", len(missing))
+		for _, m := range missing {
+			fmt.Fprintf(w, "- %s\n", m)
+		}
+	}
+}
+
+// humanize renders a metric value compactly.
+func humanize(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// diffMain implements the `benchjson diff` subcommand.
+func diffMain(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	var (
+		basePath  = fs.String("baseline", "BENCH_MAIN.json", "committed baseline document")
+		curPath   = fs.String("current", "BENCH_PR.json", "current run's document")
+		threshold = fs.Float64("threshold", 20, "regression threshold in percent")
+		failFlag  = fs.Bool("fail", false, "exit 1 when a regression is flagged")
+	)
+	fs.Parse(args)
+
+	baseline, err := readDocument(*basePath)
+	if err != nil {
+		fail(err)
+	}
+	current, err := readDocument(*curPath)
+	if err != nil {
+		fail(err)
+	}
+	rows, missing := Diff(baseline, current, *threshold)
+	RenderDiff(os.Stdout, rows, missing, *threshold)
+	if *failFlag {
+		for _, r := range rows {
+			if r.Regressed {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// readDocument loads a benchjson artifact.
+func readDocument(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc Document
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}

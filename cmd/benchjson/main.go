@@ -1,16 +1,25 @@
 // Command benchjson converts `go test -bench` text output into a stable
 // JSON document, so CI can archive one machine-readable benchmark artifact
-// per run and the performance trajectory accumulates across commits.
+// per run and the performance trajectory accumulates across commits, and
+// compares two such documents for performance regressions.
 //
 // Usage:
 //
 //	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -out BENCH_PR.json
 //	benchjson -in bench.txt -out BENCH_PR.json
+//	benchjson diff -baseline BENCH_MAIN.json -current BENCH_PR.json [-threshold 20] [-fail]
 //
 // Every benchmark line becomes one entry carrying the full metric set —
 // ns/op plus any custom metrics reported via b.ReportMetric (evals/s,
 // error percentages, front sizes...), which is how this repository's
 // benchmarks expose the paper's headline quantities.
+//
+// The diff mode matches benchmarks by package-qualified name and flags
+// changes beyond the threshold on the performance metrics — ns/op (higher
+// is worse) and evals/s (lower is worse) — rendering a markdown table
+// suitable for a CI job summary. With -fail it exits nonzero on any
+// flagged regression; the CI job instead publishes the table and leaves
+// the verdict to reviewers, since single-iteration CI runs are noisy.
 package main
 
 import (
@@ -50,6 +59,10 @@ type Document struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		diffMain(os.Args[2:])
+		return
+	}
 	var (
 		in  = flag.String("in", "-", "input file (- for stdin)")
 		out = flag.String("out", "-", "output file (- for stdout)")

@@ -62,6 +62,78 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestDiff(t *testing.T) {
+	bench := func(pkg, name string, nsop, evals float64) Benchmark {
+		m := map[string]float64{"ns/op": nsop}
+		if evals > 0 {
+			m["evals/s"] = evals
+		}
+		return Benchmark{Package: pkg, Name: name, Iterations: 1, Metrics: m}
+	}
+	baseline := &Document{Benchmarks: []Benchmark{
+		bench("wsndse", "ModelEvaluation", 5000, 200000),
+		bench("wsndse", "Assign", 270, 0),
+		bench("wsndse", "Removed", 100, 0),
+	}}
+	current := &Document{Benchmarks: []Benchmark{
+		bench("wsndse", "ModelEvaluation", 750, 1330000), // big improvement
+		bench("wsndse", "Assign", 400, 0),                // +48% ns/op: regression
+		bench("wsndse", "Added", 50, 0),
+	}}
+	rows, missing := Diff(baseline, current, 20)
+
+	byKey := map[string]DiffRow{}
+	for _, r := range rows {
+		byKey[r.Benchmark+"|"+r.Metric] = r
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d comparison rows, want 3: %+v", len(rows), rows)
+	}
+	if r := byKey["wsndse.Assign|ns/op"]; !r.Regressed || r.DeltaPct < 40 {
+		t.Errorf("Assign ns/op should be flagged: %+v", r)
+	}
+	if r := byKey["wsndse.ModelEvaluation|ns/op"]; r.Regressed || r.DeltaPct > 0 {
+		t.Errorf("ModelEvaluation ns/op should be an improvement: %+v", r)
+	}
+	// evals/s decrease must flag in the worse direction too.
+	lower := &Document{Benchmarks: []Benchmark{bench("wsndse", "ModelEvaluation", 5000, 100000)}}
+	rows, _ = Diff(baseline, lower, 20)
+	flagged := false
+	for _, r := range rows {
+		if r.Metric == "evals/s" && r.Regressed {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Errorf("halved evals/s not flagged: %+v", rows)
+	}
+	// Unmatched benchmarks are reported, not compared.
+	want := map[string]bool{"wsndse.Added (new)": true, "wsndse.Removed (removed)": true}
+	if len(missing) != 2 || !want[missing[0]] || !want[missing[1]] {
+		t.Errorf("missing = %v", missing)
+	}
+	// Worst regression sorts first.
+	rows, _ = Diff(baseline, current, 20)
+	if rows[0].Benchmark != "wsndse.Assign" {
+		t.Errorf("rows not sorted worst-first: %+v", rows)
+	}
+}
+
+func TestRenderDiff(t *testing.T) {
+	rows := []DiffRow{
+		{Benchmark: "wsndse.Assign", Metric: "ns/op", Base: 270, Current: 400, DeltaPct: 48.1, Regressed: true},
+		{Benchmark: "wsndse.ModelEvaluation", Metric: "evals/s", Base: 200000, Current: 1330000, DeltaPct: -565},
+	}
+	var sb strings.Builder
+	RenderDiff(&sb, rows, []string{"wsndse.Added (new)"}, 20)
+	out := sb.String()
+	for _, want := range []string{"1 regression(s)", "REGRESSED", "improved", "wsndse.Assign", "wsndse.Added (new)", "| benchmark |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered diff missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestParseSkipsNoise(t *testing.T) {
 	noise := `PASS
 BenchmarkAnnounced

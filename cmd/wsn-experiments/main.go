@@ -27,22 +27,32 @@ import (
 	"strings"
 
 	"wsndse/internal/casestudy"
+	"wsndse/internal/cliutil"
 	"wsndse/internal/experiments"
 	"wsndse/internal/units"
 )
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiments: all | comma list of fig3,fig4,delay,speed,fig5,ablation,scenarios,calibrate")
-		delayRuns = flag.Int("delay-runs", 130, "configurations for the delay validation (paper: 130)")
-		simDur    = flag.Float64("sim-duration", 30, "simulated seconds per delay-validation run")
-		pop       = flag.Int("pop", 96, "NSGA-II population for fig5")
-		gen       = flag.Int("gen", 60, "NSGA-II generations for fig5")
-		check     = flag.Bool("check", true, "verify each experiment's headline claims")
-		csvDir    = flag.String("csvdir", "", "also write <experiment>.csv files into this directory")
-		workers   = flag.Int("workers", 0, "concurrent experiments and per-search evaluation workers (<= 0: GOMAXPROCS)")
+		run        = flag.String("run", "all", "experiments: all | comma list of fig3,fig4,delay,speed,fig5,ablation,scenarios,calibrate")
+		delayRuns  = flag.Int("delay-runs", 130, "configurations for the delay validation (paper: 130)")
+		simDur     = flag.Float64("sim-duration", 30, "simulated seconds per delay-validation run")
+		pop        = flag.Int("pop", 96, "NSGA-II population for fig5")
+		gen        = flag.Int("gen", 60, "NSGA-II generations for fig5")
+		check      = flag.Bool("check", true, "verify each experiment's headline claims")
+		csvDir     = flag.String("csvdir", "", "also write <experiment>.csv files into this directory")
+		workers    = flag.Int("workers", 0, "concurrent experiments and per-search evaluation workers (<= 0: GOMAXPROCS)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	selected := map[string]bool{}
 	if *run == "all" {
@@ -58,8 +68,7 @@ func main() {
 	if selected["calibrate"] {
 		cal, err := casestudy.Calibrate(casestudy.CalibrationConfig{})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wsn-experiments: calibrate:", err)
-			os.Exit(1)
+			fatalf("calibrate: %v", err)
 		}
 		fmt.Println("calibration (paste into casestudy.DefaultCalibration when regenerating):")
 		fmt.Printf("CRs:         %v\n", cal.CRs)
@@ -135,8 +144,7 @@ func main() {
 	}
 	for _, out := range outs {
 		if out.Err != nil {
-			fmt.Fprintf(os.Stderr, "wsn-experiments: %s: %v\n", out.Name, out.Err)
-			os.Exit(1)
+			fatalf("%s: %v", out.Name, out.Err)
 		}
 		if *csvDir != "" {
 			if r, ok := out.Report.(interface{ WriteCSV(io.Writer) error }); ok {
@@ -146,8 +154,7 @@ func main() {
 		out.Report.Render(os.Stdout)
 		if *check {
 			if err := out.Report.Check(); err != nil {
-				fmt.Fprintf(os.Stderr, "wsn-experiments: %s check FAILED: %v\n", out.Name, err)
-				os.Exit(1)
+				fatalf("%s check FAILED: %v", out.Name, err)
 			}
 			fmt.Printf("[%s checks passed]\n", out.Name)
 		}
@@ -155,17 +162,25 @@ func main() {
 	}
 }
 
+// stopProfiles flushes any active -cpuprofile/-memprofile; fatalf runs it
+// so error exits do not truncate a profile mid-write.
+var stopProfiles = func() {}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsn-experiments: "+format+"\n", args...)
+	stopProfiles()
+	os.Exit(1)
+}
+
 func writeCSV(dir, name string, r interface{ WriteCSV(io.Writer) error }) {
 	path := dir + "/" + name + ".csv"
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wsn-experiments: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	defer f.Close()
 	if err := r.WriteCSV(f); err != nil {
-		fmt.Fprintf(os.Stderr, "wsn-experiments: %s: %v\n", name, err)
-		os.Exit(1)
+		fatalf("%s: %v", name, err)
 	}
 	fmt.Printf("[%s.csv written]\n", name)
 }

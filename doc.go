@@ -57,7 +57,35 @@
 // per-codec lock that never blocks concurrent decoders. See the dse
 // package documentation for the exact determinism guarantees.
 //
+// # Compiled evaluation pipeline
+//
+// The analytical model's reason to exist is being orders of magnitude
+// faster than simulation, so the evaluation hot path is engineered to be
+// allocation-free. Compile() on casestudy.Problem and scenario.Problem
+// pre-builds lookup tables over the whole design space — the full
+// (BO × SFO gap × payload) MAC grid, per-node application instances per
+// CR grid index, per-node MAC views for payload-override nodes, and the
+// per (application, sample-rate) output rates and quality values — so
+// each evaluation reduces to table lookups plus the Eq. 1–9 arithmetic.
+// The arithmetic itself runs on scratch-reuse APIs in core
+// (Network.EvaluateInto, Network.EvaluateWithRatesInto, AssignHeteroInto,
+// Node.EnergyWithRates, and the per-worker core.Workspace), and the batch
+// runtime's memo cache keys on a packed uint64 hash of the gene indices,
+// so steady-state evaluation performs zero heap allocations. Equivalence
+// tests assert the compiled evaluators return bit-identical objectives to
+// the reference evaluators for every registered scenario at worker counts
+// 1 and 8, and testing.AllocsPerRun regression tests pin the hot path at
+// 0 allocs/op.
+//
+// The pipeline relies on the evaluator determinism/purity contract: an
+// evaluator must be a pure function of the configuration (no hidden
+// state, no randomness, no clock), which is what lets tables be built
+// once, results be memoized process-wide, scratch be reused per worker
+// (dse.Forkable), and fronts stay bit-identical at every worker count.
+//
 // The benchmarks in bench_test.go regenerate every evaluation artifact
-// (including parallel-vs-sequential exploration pairs); cmd/wsn-experiments
-// prints them as tables, and both it and cmd/wsn-explore take -workers N.
+// (including parallel-vs-sequential exploration pairs and the
+// reference-vs-compiled evaluator twins, with allocs/op reported);
+// cmd/wsn-experiments prints them as tables, and both it and
+// cmd/wsn-explore take -workers N plus -cpuprofile/-memprofile for pprof.
 package wsndse

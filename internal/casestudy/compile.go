@@ -1,0 +1,157 @@
+package casestudy
+
+import (
+	"fmt"
+
+	"wsndse/internal/app"
+	"wsndse/internal/core"
+	"wsndse/internal/dse"
+	"wsndse/internal/platform"
+	"wsndse/internal/units"
+)
+
+// Compiled is the compiled evaluation pipeline of the case study: every
+// object the reference evaluator constructs per call — the GTS MAC for the
+// (BO, SFO gap, payload) point, the per-node applications for each CR grid
+// index, the per-node names — is pre-built once over the whole design
+// space, together with the per (application, sample-rate) output rates and
+// quality values. Evaluation then reduces to table lookups plus the
+// Eq. 1–9 arithmetic of core.EvaluateWithRatesInto, and a steady-state
+// evaluation loop performs zero heap allocations.
+//
+// The compiled evaluator is guaranteed bit-identical to
+// Problem.Evaluator(): the tables hold exactly the objects and values the
+// reference path would rebuild, and the arithmetic is the same core code.
+type Compiled struct {
+	nodes int
+	theta float64
+	names []string
+	plat  platform.Platform
+
+	// macs is the flattened (BO × SFO gap × payload) grid; entry
+	// (b·nGap + g)·nPay + p holds the MAC (or the construction error the
+	// reference evaluator would return for that χ_mac point).
+	macs            []core.GTSMacEntry
+	nBO, nGap, nPay int
+
+	// Per-node χ_node tables, indexed by the CR and frequency gene values.
+	apps    [][]app.Application      // apps[node][crIdx]
+	phiIn   []units.BytesPerSecond   // phiIn[node], fixed by the sample rate
+	phiOut  [][]units.BytesPerSecond // phiOut[node][crIdx] = h(φ_in)
+	quality [][]float64              // quality[node][crIdx] = e(φ_in)
+	freqs   []units.Hertz            // the shared f_µC grid
+}
+
+// Compile pre-builds the lookup tables of the compiled evaluation
+// pipeline. It fails fast on grid values the reference evaluator would
+// reject for every configuration (e.g. an out-of-range compression
+// ratio); χ_mac points whose MAC construction fails are recorded and
+// reported per evaluation instead, exactly like the reference path.
+func (p *Problem) Compile() (*Compiled, error) {
+	if p.Nodes < 1 {
+		return nil, fmt.Errorf("casestudy: Compile: problem has %d nodes", p.Nodes)
+	}
+	if len(p.BeaconOrders) == 0 || len(p.SFOGaps) == 0 || len(p.Payloads) == 0 ||
+		len(p.CRs) == 0 || len(p.MicroFreqs) == 0 {
+		return nil, fmt.Errorf("casestudy: Compile: empty design axis")
+	}
+	if p.Theta < 0 {
+		return nil, fmt.Errorf("casestudy: Compile: negative balance weight ϑ=%g", p.Theta)
+	}
+	t := &Compiled{
+		nodes: p.Nodes,
+		theta: p.Theta,
+		plat:  platform.Shimmer(),
+		nBO:   len(p.BeaconOrders),
+		nGap:  len(p.SFOGaps),
+		nPay:  len(p.Payloads),
+		freqs: append([]units.Hertz(nil), p.MicroFreqs...),
+	}
+
+	t.macs = core.BuildGTSMacGrid(p.BeaconOrders, p.SFOGaps, p.Payloads, p.Nodes)
+
+	kinds := DefaultKinds(p.Nodes)
+	phiIn := t.plat.InputRate(SampleRate)
+	t.names = make([]string, p.Nodes)
+	t.apps = make([][]app.Application, p.Nodes)
+	t.phiIn = make([]units.BytesPerSecond, p.Nodes)
+	t.phiOut = make([][]units.BytesPerSecond, p.Nodes)
+	t.quality = make([][]float64, p.Nodes)
+	for i := 0; i < p.Nodes; i++ {
+		t.names[i] = fmt.Sprintf("%s-%d", kinds[i], i)
+		t.phiIn[i] = phiIn
+		apps := make([]app.Application, len(p.CRs))
+		rates := make([]units.BytesPerSecond, len(p.CRs))
+		quals := make([]float64, len(p.CRs))
+		for j, cr := range p.CRs {
+			a, err := AppFor(p.Cal, kinds[i], cr)
+			if err != nil {
+				return nil, fmt.Errorf("casestudy: Compile: node %d, CR %g: %w", i, cr, err)
+			}
+			apps[j] = a
+			rates[j] = a.OutputRate(phiIn)
+			quals[j] = a.Quality(phiIn)
+		}
+		t.apps[i] = apps
+		t.phiOut[i] = rates
+		t.quality[i] = quals
+	}
+	return t, nil
+}
+
+// Evaluator returns the compiled three-objective evaluator: minimize
+// (E_net [W], PRD_net [%], delay_net [s]), bit-identical to
+// Problem.Evaluator() but allocation-free in steady state. It is safe for
+// concurrent use and implements dse.IntoEvaluator and dse.Forkable, so
+// the batch runtime gives each worker a private scratch instance.
+func (t *Compiled) Evaluator() dse.Evaluator {
+	return dse.NewPooledForkable(3, func() dse.EvalInto { return newCompiledEval(t).EvaluateInto })
+}
+
+// compiledEval is one evaluation context: the shared immutable tables plus
+// a private core.Workspace. Not safe for concurrent use.
+type compiledEval struct {
+	t  *Compiled
+	ws *core.Workspace
+}
+
+func newCompiledEval(t *Compiled) *compiledEval {
+	ws := core.NewWorkspace(t.nodes)
+	for i := range ws.Nodes {
+		ws.Nodes[i].Name = t.names[i]
+		ws.Nodes[i].Platform = t.plat
+		ws.Nodes[i].SampleFreq = SampleRate
+	}
+	ws.Net.Theta = t.theta
+	copy(ws.PhiIn, t.phiIn)
+	return &compiledEval{t: t, ws: ws}
+}
+
+// EvaluateInto is the dse.EvalInto context surface: table lookups re-point the
+// workspace at the configuration's pre-built MAC and applications, then
+// the shared core arithmetic runs on reused scratch.
+func (e *compiledEval) EvaluateInto(c dse.Config, objs dse.Objectives) error {
+	t := e.t
+	n := t.nodes
+	if len(c) != 3+2*n || c[0] < 0 || c[0] >= t.nBO || c[1] < 0 || c[1] >= t.nGap ||
+		c[2] < 0 || c[2] >= t.nPay {
+		return fmt.Errorf("casestudy: invalid config %v", c)
+	}
+	me := t.macs[(c[0]*t.nGap+c[1])*t.nPay+c[2]]
+	if me.Err != nil {
+		return me.Err
+	}
+	ws := e.ws
+	for i := 0; i < n; i++ {
+		cr, fi := c[3+i], c[3+n+i]
+		if cr < 0 || cr >= len(t.apps[i]) || fi < 0 || fi >= len(t.freqs) {
+			return fmt.Errorf("casestudy: invalid config %v", c)
+		}
+		ws.Nodes[i].App = t.apps[i][cr]
+		ws.Nodes[i].MicroFreq = t.freqs[fi]
+		ws.PhiOut[i] = t.phiOut[i][cr]
+		ws.Quality[i] = t.quality[i][cr]
+	}
+	ws.Net.MAC = me.MAC
+	return ws.Evaluate(objs)
+}

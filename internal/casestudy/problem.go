@@ -240,15 +240,10 @@ func (p *Problem) Decode(c dse.Config) (Params, error) {
 	if !p.space.Valid(c) {
 		return Params{}, fmt.Errorf("casestudy: invalid config %v", c)
 	}
-	bo := int(p.space.Value(c, 0))
-	gap := int(p.space.Value(c, 1))
-	so := bo - gap
-	if so < 0 {
-		so = 0
-	}
+	sf := ieee.SuperframeWithGap(int(p.space.Value(c, 0)), int(p.space.Value(c, 1)))
 	out := Params{
-		BeaconOrder:     bo,
-		SuperframeOrder: so,
+		BeaconOrder:     sf.BeaconOrder,
+		SuperframeOrder: sf.SuperframeOrder,
 		PayloadBytes:    int(p.space.Value(c, 2)),
 		CR:              make([]float64, p.Nodes),
 		MicroFreq:       make([]units.Hertz, p.Nodes),

@@ -4,12 +4,52 @@ package cliutil
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"wsndse/internal/casestudy"
 	"wsndse/internal/units"
 )
+
+// StartProfiles starts CPU profiling into cpuPath and arranges a heap
+// profile into memPath, honoring empty paths as "off". The returned stop
+// function flushes both and must run before process exit (defer it in
+// main). This is the -cpuprofile/-memprofile plumbing shared by the CLIs
+// so hot-path regressions can be diagnosed with `go tool pprof`.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "-memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "-memprofile:", err)
+			}
+		}
+	}, nil
+}
 
 // ParseFloats parses a comma-separated list of floats ("0.23,0.29,0.17").
 func ParseFloats(s string) ([]float64, error) {

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"os"
 	"testing"
 
 	"wsndse/internal/units"
@@ -82,5 +83,34 @@ func TestBuildParamsErrors(t *testing.T) {
 	// SO > BO is structurally invalid.
 	if _, err := BuildParams(1, 3, 48, 6, "0.2", "8M"); err == nil {
 		t.Error("invalid superframe accepted")
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.out", dir+"/mem.out"
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	// Both off: no-op stop, no files.
+	stop, err = StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	// Unwritable CPU path errors up front.
+	if _, err := StartProfiles(dir+"/nope/cpu.out", ""); err == nil {
+		t.Error("unwritable -cpuprofile path accepted")
 	}
 }

@@ -51,39 +51,51 @@ func Assign(mac MAC, phiOut []units.BytesPerSecond) (*Assignment, error) {
 // since every Δ_tx is an integer multiple of the same slot. A nil views
 // slice (or nil entries) reduces to the homogeneous Assign.
 func AssignHetero(base MAC, views []MAC, phiOut []units.BytesPerSecond) (*Assignment, error) {
+	a := &Assignment{}
+	if err := AssignHeteroInto(a, base, views, phiOut); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AssignHeteroInto is AssignHetero with caller-owned scratch: it solves the
+// assignment into a, reusing a's K and DeltaTx slices across calls so the
+// evaluation hot path allocates nothing. On error a's contents are
+// unspecified. The numbers are bit-identical to AssignHetero's.
+func AssignHeteroInto(a *Assignment, base MAC, views []MAC, phiOut []units.BytesPerSecond) error {
 	if len(phiOut) == 0 {
-		return nil, fmt.Errorf("core: Assign: no nodes")
+		return fmt.Errorf("core: Assign: no nodes")
 	}
 	if views != nil && len(views) != len(phiOut) {
-		return nil, fmt.Errorf("core: Assign: %d MAC views for %d nodes", len(views), len(phiOut))
+		return fmt.Errorf("core: Assign: %d MAC views for %d nodes", len(views), len(phiOut))
 	}
 	delta := base.Quantum()
 	if delta <= 0 {
-		return nil, fmt.Errorf("core: Assign: MAC %q has non-positive quantum %g", base.Name(), delta)
+		return fmt.Errorf("core: Assign: MAC %q has non-positive quantum %g", base.Name(), delta)
 	}
 	capacity := base.Capacity()
 
-	a := &Assignment{
-		K:           make([]int, len(phiOut)),
-		DeltaTx:     make([]float64, len(phiOut)),
-		Capacity:    capacity,
-		ControlTime: base.ControlTime(),
-	}
+	a.K = scratch(a.K, len(phiOut))
+	a.DeltaTx = scratch(a.DeltaTx, len(phiOut))
+	a.Used = 0
+	a.Capacity = capacity
+	a.ControlTime = base.ControlTime()
+	a.Idle = 0
 	for i, phi := range phiOut {
 		mac := base
 		if views != nil && views[i] != nil {
 			mac = views[i]
 			if q := mac.Quantum(); math.Abs(q-delta) > 1e-15 {
-				return nil, fmt.Errorf("core: Assign: node %d view %q has quantum %g, base %q has %g",
+				return fmt.Errorf("core: Assign: node %d view %q has quantum %g, base %q has %g",
 					i, mac.Name(), q, base.Name(), delta)
 			}
 		}
 		if phi < 0 {
-			return nil, fmt.Errorf("core: Assign: node %d has negative output rate %g", i, float64(phi))
+			return fmt.Errorf("core: Assign: node %d has negative output rate %g", i, float64(phi))
 		}
 		need := mac.TxTime(phi)
 		if need < 0 {
-			return nil, fmt.Errorf("core: Assign: MAC %q returned negative TxTime for %v", mac.Name(), phi)
+			return fmt.Errorf("core: Assign: MAC %q returned negative TxTime for %v", mac.Name(), phi)
 		}
 		k := int(math.Ceil(need/delta - 1e-12)) // tolerate exact multiples
 		if k == 0 && phi > 0 {
@@ -99,7 +111,7 @@ func AssignHetero(base MAC, views []MAC, phiOut []units.BytesPerSecond) (*Assign
 		a.Used += a.DeltaTx[i]
 	}
 	if a.Used > capacity+1e-12 {
-		return nil, Infeasible(
+		return Infeasible(
 			"transmission demand %.6f s/s exceeds MAC %q capacity %.6f s/s (N=%d nodes)",
 			a.Used, base.Name(), capacity, len(phiOut))
 	}
@@ -108,8 +120,8 @@ func AssignHetero(base MAC, views []MAC, phiOut []units.BytesPerSecond) (*Assign
 		// Structural control time plus assignments cannot exceed one
 		// second; a violation means the MAC's Capacity and
 		// ControlTime disagree.
-		return nil, fmt.Errorf("core: Assign: MAC %q accounting broken: used %.6f + control %.6f > 1",
+		return fmt.Errorf("core: Assign: MAC %q accounting broken: used %.6f + control %.6f > 1",
 			base.Name(), a.Used, a.ControlTime)
 	}
-	return a, nil
+	return nil
 }

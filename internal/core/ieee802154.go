@@ -44,6 +44,35 @@ func NewGTSMac(sf ieee.SuperframeConfig, payloadBytes, numNodes int) (*GTSMac, e
 	return &GTSMac{Superframe: sf, PayloadBytes: payloadBytes, NumNodes: numNodes}, nil
 }
 
+// GTSMacEntry is one pre-built χ_mac grid point: the MAC model or the
+// error its construction produced, so a compiled evaluator can report per
+// configuration exactly what a fresh NewGTSMac call would (including
+// infeasible node counts).
+type GTSMacEntry struct {
+	MAC *GTSMac
+	Err error
+}
+
+// BuildGTSMacGrid pre-builds the (BO × SFO gap × payload) MAC grid the
+// compiled evaluation pipelines index into: entry
+// (b·len(gaps) + g)·len(payloads) + p holds the MAC for
+// (bos[b], gaps[g], payloads[p]) under the shared SFO = max(BO − gap, 0)
+// decode rule (ieee.SuperframeWithGap). A single-payload list builds the
+// (BO × SFO gap) view grid of a payload-override node.
+func BuildGTSMacGrid(bos, gaps, payloads []int, numNodes int) []GTSMacEntry {
+	grid := make([]GTSMacEntry, 0, len(bos)*len(gaps)*len(payloads))
+	for _, bo := range bos {
+		for _, gap := range gaps {
+			sf := ieee.SuperframeWithGap(bo, gap)
+			for _, pay := range payloads {
+				mac, err := NewGTSMac(sf, pay, numNodes)
+				grid = append(grid, GTSMacEntry{MAC: mac, Err: err})
+			}
+		}
+	}
+	return grid
+}
+
 // Name identifies the MAC.
 func (m *GTSMac) Name() string { return "ieee802.15.4-gts" }
 

@@ -33,7 +33,10 @@ func (net *Network) macFor(i int) MAC {
 }
 
 // Evaluation is the complete system-level result for one configuration:
-// everything the DSE needs, produced in one pass.
+// everything the DSE needs, produced in one pass. An Evaluation doubles as
+// the scratch object of EvaluateInto: the slices (including the
+// Assignment's) are reused across calls, so a steady-state evaluation loop
+// performs no heap allocations.
 type Evaluation struct {
 	// PerNode breakdowns, in node order.
 	PerNode []EnergyBreakdown
@@ -52,14 +55,33 @@ type Evaluation struct {
 	Energy  units.Watts
 	Quality float64
 	Delay   units.Seconds
+
+	// Reused intermediates: the per-node application-layer quantities and
+	// the per-node totals handed to the Eq. 8 combinator.
+	phiIn    []units.BytesPerSecond
+	phiOut   []units.BytesPerSecond
+	quality  []float64
+	energies []float64
 }
 
 // Combine is Eq. 8's combinator: mean(values) + theta·sampleStdDev(values).
 // The paper defines E_net this way and applies the same form to the
 // application quality metric; it rewards balanced networks where no node
-// is starved or disproportionately drained.
+// is starved or disproportionately drained. The mean and dispersion come
+// from the fused single-pass numeric.MeanStdDev.
 func Combine(values []float64, theta float64) float64 {
-	return numeric.Mean(values) + theta*numeric.SampleStdDev(values)
+	mean, sd := numeric.MeanStdDev(values)
+	return mean + theta*sd
+}
+
+// scratch returns s resized to n elements, reusing its backing array when
+// the capacity suffices. Retained elements are stale; callers overwrite
+// every slot.
+func scratch[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // Evaluate runs the full model: assignment (Eqs. 1–2), per-node energies
@@ -67,43 +89,88 @@ func Combine(values []float64, theta float64) float64 {
 // network metrics (Eq. 8). Infeasible configurations yield an
 // InfeasibleError.
 func (net *Network) Evaluate() (*Evaluation, error) {
-	if len(net.Nodes) == 0 {
-		return nil, fmt.Errorf("core: Evaluate: network has no nodes")
-	}
-	if net.MAC == nil {
-		return nil, fmt.Errorf("core: Evaluate: network has no MAC")
-	}
-	if net.Theta < 0 {
-		return nil, fmt.Errorf("core: Evaluate: negative balance weight ϑ=%g", net.Theta)
-	}
-	if len(net.NodeMACs) != 0 && len(net.NodeMACs) != len(net.Nodes) {
-		return nil, fmt.Errorf("core: Evaluate: %d MAC views for %d nodes", len(net.NodeMACs), len(net.Nodes))
-	}
-
-	phiOut := make([]units.BytesPerSecond, len(net.Nodes))
-	for i, n := range net.Nodes {
-		phiOut[i] = n.OutputRate()
-	}
-	assignment, err := AssignHetero(net.MAC, net.NodeMACs, phiOut)
-	if err != nil {
+	ev := &Evaluation{}
+	if err := net.EvaluateInto(ev); err != nil {
 		return nil, err
 	}
+	return ev, nil
+}
 
-	ev := &Evaluation{
-		PerNode:        make([]EnergyBreakdown, len(net.Nodes)),
-		PerNodeQuality: make([]float64, len(net.Nodes)),
-		PerNodeDelay:   make([]float64, len(net.Nodes)),
-		Assignment:     assignment,
+// validateShape checks the structural preconditions shared by the
+// evaluation entry points.
+func (net *Network) validateShape() error {
+	if len(net.Nodes) == 0 {
+		return fmt.Errorf("core: Evaluate: network has no nodes")
 	}
-	energies := make([]float64, len(net.Nodes))
-	for i, n := range net.Nodes {
-		eb, err := n.Energy(net.macFor(i))
+	if net.MAC == nil {
+		return fmt.Errorf("core: Evaluate: network has no MAC")
+	}
+	if net.Theta < 0 {
+		return fmt.Errorf("core: Evaluate: negative balance weight ϑ=%g", net.Theta)
+	}
+	if len(net.NodeMACs) != 0 && len(net.NodeMACs) != len(net.Nodes) {
+		return fmt.Errorf("core: Evaluate: %d MAC views for %d nodes", len(net.NodeMACs), len(net.Nodes))
+	}
+	return nil
+}
+
+// EvaluateInto is Evaluate with caller-owned scratch: it writes the result
+// into ev, reusing ev's slices (and its Assignment) across calls, so a
+// steady-state evaluation loop — the DSE hot path — performs zero heap
+// allocations after the first call. On error ev's contents are
+// unspecified. The numbers are bit-identical to Evaluate's.
+func (net *Network) EvaluateInto(ev *Evaluation) error {
+	if err := net.validateShape(); err != nil {
+		return err
+	}
+	n := len(net.Nodes)
+	ev.phiIn = scratch(ev.phiIn, n)
+	ev.phiOut = scratch(ev.phiOut, n)
+	ev.quality = scratch(ev.quality, n)
+	for i, node := range net.Nodes {
+		phiIn := node.InputRate()
+		ev.phiIn[i] = phiIn
+		ev.phiOut[i] = node.App.OutputRate(phiIn)
+		ev.quality[i] = node.App.Quality(phiIn)
+	}
+	return net.EvaluateWithRatesInto(ev, ev.phiIn, ev.phiOut, ev.quality)
+}
+
+// EvaluateWithRatesInto is EvaluateInto with the application-layer
+// quantities supplied by the caller: phiIn[i], phiOut[i] and quality[i]
+// must equal node i's InputRate, OutputRate and App.Quality(InputRate).
+// Compiled evaluators hold those three per (application, sample-rate) pair
+// in precomputed tables, which turns the per-configuration work into table
+// lookups plus the Eq. 1–9 arithmetic below. The result is bit-identical
+// to Evaluate's.
+func (net *Network) EvaluateWithRatesInto(ev *Evaluation, phiIn, phiOut []units.BytesPerSecond, quality []float64) error {
+	if err := net.validateShape(); err != nil {
+		return err
+	}
+	n := len(net.Nodes)
+	if len(phiIn) != n || len(phiOut) != n || len(quality) != n {
+		return fmt.Errorf("core: Evaluate: rates cover %d/%d/%d of %d nodes",
+			len(phiIn), len(phiOut), len(quality), n)
+	}
+	if ev.Assignment == nil {
+		ev.Assignment = &Assignment{}
+	}
+	if err := AssignHeteroInto(ev.Assignment, net.MAC, net.NodeMACs, phiOut); err != nil {
+		return err
+	}
+
+	ev.PerNode = scratch(ev.PerNode, n)
+	ev.PerNodeQuality = scratch(ev.PerNodeQuality, n)
+	ev.PerNodeDelay = scratch(ev.PerNodeDelay, n)
+	ev.energies = scratch(ev.energies, n)
+	for i, node := range net.Nodes {
+		eb, err := node.EnergyWithRates(net.macFor(i), phiIn[i], phiOut[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ev.PerNode[i] = eb
-		energies[i] = float64(eb.Total)
-		ev.PerNodeQuality[i] = n.App.Quality(n.InputRate())
+		ev.energies[i] = float64(eb.Total)
+		ev.PerNodeQuality[i] = quality[i]
 	}
 
 	// Each node's bound comes from its own MAC view (a per-node payload
@@ -112,7 +179,7 @@ func (net *Network) Evaluate() (*Evaluation, error) {
 	allBounded := true
 	for i := range net.Nodes {
 		if db, ok := net.macFor(i).(DelayBound); ok {
-			ev.PerNodeDelay[i] = float64(db.WorstCaseDelay(assignment.DeltaTx, i))
+			ev.PerNodeDelay[i] = float64(db.WorstCaseDelay(ev.Assignment.DeltaTx, i))
 		} else {
 			ev.PerNodeDelay[i] = math.NaN()
 			allBounded = false
@@ -124,9 +191,9 @@ func (net *Network) Evaluate() (*Evaluation, error) {
 		ev.Delay = units.Seconds(math.NaN())
 	}
 
-	ev.Energy = units.Watts(Combine(energies, net.Theta))
+	ev.Energy = units.Watts(Combine(ev.energies, net.Theta))
 	ev.Quality = Combine(ev.PerNodeQuality, net.Theta)
-	return ev, nil
+	return nil
 }
 
 // Validate checks all nodes and the MAC wiring without evaluating.

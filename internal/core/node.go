@@ -59,8 +59,18 @@ type EnergyBreakdown struct {
 // DWT at 1 MHz in the paper's Figure 3) or when the working set exceeds
 // the platform memory.
 func (n *Node) Energy(mac MAC) (EnergyBreakdown, error) {
-	var eb EnergyBreakdown
 	phiIn := n.InputRate()
+	return n.EnergyWithRates(mac, phiIn, n.App.OutputRate(phiIn))
+}
+
+// EnergyWithRates is Energy with the node's streams supplied by the
+// caller: phiIn must equal n.InputRate() and phiOut n.OutputRate(). It
+// exists for compiled evaluators that hold both rates in precomputed
+// tables — the values (and therefore the result, bit for bit) are the same
+// as Energy's, but the per-call h(φ_in) recomputation disappears from the
+// hot path.
+func (n *Node) EnergyWithRates(mac MAC, phiIn, phiOut units.BytesPerSecond) (EnergyBreakdown, error) {
+	var eb EnergyBreakdown
 	usage := n.App.Usage(phiIn, n.MicroFreq)
 	if usage.Duty > 1 {
 		return eb, Infeasible("node %q: application %q duty cycle %.1f%% exceeds 100%% at f_µC=%v",
@@ -73,8 +83,6 @@ func (n *Node) Energy(mac MAC) (EnergyBreakdown, error) {
 		return eb, Infeasible("node %q: application working set %.0f B exceeds %d B RAM",
 			n.Name, usage.MemoryBytes, n.Platform.Memory.SizeBytes)
 	}
-
-	phiOut := n.App.OutputRate(phiIn)
 
 	// Eq. 3: sensing.
 	eb.Sensor = n.Platform.Sensor.Power(n.SampleFreq)

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"wsndse/internal/units"
+)
+
+// Workspace is the reusable per-worker evaluation context compiled
+// evaluators run on: a fixed-size star of node shells whose application,
+// µC frequency and MAC slots are re-pointed per configuration by table
+// lookup, plus the per-node input slices EvaluateWithRatesInto consumes
+// and the scratch Evaluation it fills. A Workspace is not safe for
+// concurrent use — the batch runtime gives each worker its own (see
+// dse.Forkable).
+type Workspace struct {
+	// Nodes are the node shells; Net.Nodes points at them. A compiled
+	// evaluator fixes Name/Platform/SampleFreq once and re-points
+	// App/MicroFreq per configuration.
+	Nodes []Node
+	// Net is the star under evaluation: MAC (and NodeMACs, for payload
+	// overrides) are re-pointed per configuration, Theta is fixed.
+	Net Network
+	// PhiIn, PhiOut and Quality are the per-node application-layer
+	// quantities, filled from the compiled tables per configuration.
+	PhiIn   []units.BytesPerSecond
+	PhiOut  []units.BytesPerSecond
+	Quality []float64
+	// Ev is the scratch result reused across evaluations.
+	Ev Evaluation
+}
+
+// NewWorkspace builds a workspace for an n-node star.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{
+		Nodes:   make([]Node, n),
+		PhiIn:   make([]units.BytesPerSecond, n),
+		PhiOut:  make([]units.BytesPerSecond, n),
+		Quality: make([]float64, n),
+	}
+	ptrs := make([]*Node, n)
+	for i := range ptrs {
+		ptrs[i] = &w.Nodes[i]
+	}
+	w.Net.Nodes = ptrs
+	return w
+}
+
+// Evaluate runs the model on the workspace's current contents and writes
+// (E_net, quality_net, delay_net) into objs, which must have length 3.
+// Steady-state calls allocate nothing; the numbers are bit-identical to
+// Network.Evaluate on an equivalent freshly-built network.
+func (w *Workspace) Evaluate(objs []float64) error {
+	if err := w.Net.EvaluateWithRatesInto(&w.Ev, w.PhiIn, w.PhiOut, w.Quality); err != nil {
+		return err
+	}
+	objs[0] = float64(w.Ev.Energy)
+	objs[1] = w.Ev.Quality
+	objs[2] = float64(w.Ev.Delay)
+	return nil
+}

@@ -95,8 +95,8 @@ func MOSA(space *Space, eval Evaluator, cfg MOSAConfig) (*Result, error) {
 	pe := NewParallelEvaluator(eval, cfg.Workers)
 
 	chainArchives := make([]Archive, cfg.Restarts)
-	ForEach(cfg.Restarts, pe.Workers(), func(ch int) {
-		annealChain(space, pe, cfg, ch, &chainArchives[ch])
+	ForEachWorker(cfg.Restarts, pe.Workers(), func(w, ch int) {
+		annealChain(space, pe, w, cfg, ch, &chainArchives[ch])
 	})
 
 	var arch Archive
@@ -109,8 +109,9 @@ func MOSA(space *Space, eval Evaluator, cfg MOSAConfig) (*Result, error) {
 	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
 }
 
-// annealChain runs one independent annealing chain into arch.
-func annealChain(space *Space, pe *ParallelEvaluator, cfg MOSAConfig, ch int, arch *Archive) {
+// annealChain runs one independent annealing chain into arch, evaluating
+// on worker w's private evaluator instance.
+func annealChain(space *Space, pe *ParallelEvaluator, w int, cfg MOSAConfig, ch int, arch *Archive) {
 	rng := rand.New(rand.NewSource(chainSeed(cfg.Seed, ch)))
 
 	energy := func(p Point) float64 {
@@ -129,12 +130,12 @@ func annealChain(space *Space, pe *ParallelEvaluator, cfg MOSAConfig, ch int, ar
 		return float64(dominated) / float64(arch.Len())
 	}
 
-	cur := pe.Eval(space.Random(rng))
+	cur := pe.evalFor(w, space.Random(rng))
 	arch.Add(cur)
 	curE := energy(cur)
 	temp := cfg.InitialTemp
 	for it := 0; it < cfg.Iterations/cfg.Restarts; it++ {
-		cand := pe.Eval(space.Neighbor(rng, cur.Config))
+		cand := pe.evalFor(w, space.Neighbor(rng, cur.Config))
 		arch.Add(cand)
 		candE := energy(cand)
 		if candE <= curE || rng.Float64() < math.Exp(-(candE-curE)/temp) {

@@ -12,24 +12,49 @@ import (
 const memoShards = 64
 
 // memoEntry is one cached evaluation. The goroutine that inserts the entry
-// owns the evaluation; every other goroutine that hits the same key blocks
-// on done until the point is filled in. This gives exactly-once evaluation
-// per distinct configuration regardless of scheduling, which is what keeps
-// the Evaluated/Infeasible counts identical at any worker count.
+// owns the evaluation; every other goroutine that hits the same
+// configuration blocks on done until the point is filled in. This gives
+// exactly-once evaluation per distinct configuration regardless of
+// scheduling, which is what keeps the Evaluated/Infeasible counts identical
+// at any worker count. Entries hashing to the same uint64 chain through
+// next; cfg disambiguates them, so a hash collision costs a comparison,
+// never a wrong result.
 type memoEntry struct {
+	cfg  Config
+	next *memoEntry
 	done chan struct{}
 	p    Point
 }
 
 type memoShard struct {
 	mu      sync.Mutex
-	entries map[string]*memoEntry
+	entries map[uint64]*memoEntry
+}
+
+// IntoEvaluator is an Evaluator that can additionally write its objectives
+// into a caller-provided buffer of length NumObjectives(), avoiding the
+// per-call Objectives allocation. Compiled evaluators (casestudy and
+// scenario Compile) implement it; the batch runtime uses it on cache
+// misses so the only steady-state allocations left are the cache entries
+// themselves — one per distinct configuration, ever.
+type IntoEvaluator interface {
+	Evaluator
+	EvaluateInto(c Config, objs Objectives) error
+}
+
+// Forkable is an Evaluator that can hand out per-worker instances sharing
+// its immutable tables but owning private mutable scratch. The batch
+// runtime forks one instance per worker, so the scratch needs no
+// synchronization: workers partition batch indices and each index is
+// evaluated entirely on one worker's instance.
+type Forkable interface {
+	Fork() Evaluator
 }
 
 // ParallelEvaluator wraps an Evaluator with a bounded worker pool and a
-// sharded, mutex-guarded memo cache. It is the batch-evaluation runtime
-// every search algorithm in this package runs on: the sequential path is
-// simply workers = 1.
+// sharded, mutex-guarded memo cache keyed on the configurations' packed
+// uint64 hash. It is the batch-evaluation runtime every search algorithm in
+// this package runs on: the sequential path is simply workers = 1.
 //
 // Determinism contract: the wrapped Evaluator must be a pure function of
 // the configuration (every evaluator in this repository is). Under that
@@ -38,10 +63,13 @@ type memoShard struct {
 // process-wide, and Stats reports scheduling-independent counts.
 //
 // The wrapped Evaluator is called from multiple goroutines concurrently;
-// stateless evaluators need no synchronization of their own.
+// stateless evaluators need no synchronization of their own, and Forkable
+// evaluators get one private instance per worker.
 type ParallelEvaluator struct {
 	inner      Evaluator
+	perWorker  []Evaluator // perWorker[w] is used only by worker w
 	workers    int
+	nobj       int
 	shards     [memoShards]memoShard
 	evaluated  atomic.Int64
 	infeasible atomic.Int64
@@ -53,9 +81,17 @@ func NewParallelEvaluator(inner Evaluator, workers int) *ParallelEvaluator {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	pe := &ParallelEvaluator{inner: inner, workers: workers}
+	pe := &ParallelEvaluator{inner: inner, workers: workers, nobj: inner.NumObjectives()}
+	pe.perWorker = make([]Evaluator, workers)
+	for w := range pe.perWorker {
+		if f, ok := inner.(Forkable); ok {
+			pe.perWorker[w] = f.Fork()
+		} else {
+			pe.perWorker[w] = inner
+		}
+	}
 	for i := range pe.shards {
-		pe.shards[i].entries = make(map[string]*memoEntry)
+		pe.shards[i].entries = make(map[uint64]*memoEntry)
 	}
 	return pe
 }
@@ -65,36 +101,43 @@ func (pe *ParallelEvaluator) Workers() int { return pe.workers }
 
 // NumObjectives forwards to the wrapped evaluator, so a ParallelEvaluator
 // is itself usable wherever an objective count is needed.
-func (pe *ParallelEvaluator) NumObjectives() int { return pe.inner.NumObjectives() }
-
-// shardFor hashes the memo key (FNV-1a) onto a shard.
-func (pe *ParallelEvaluator) shardFor(key string) *memoShard {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
-	}
-	return &pe.shards[h%memoShards]
-}
+func (pe *ParallelEvaluator) NumObjectives() int { return pe.nobj }
 
 // Eval evaluates one configuration through the cache. Safe for concurrent
 // use; a configuration in flight on another goroutine is waited for, not
 // re-evaluated.
 func (pe *ParallelEvaluator) Eval(c Config) Point {
-	key := c.Key()
-	sh := pe.shardFor(key)
+	return pe.evalOn(pe.inner, c)
+}
+
+// evalFor evaluates c on worker w's private evaluator instance. The caller
+// must guarantee at most one goroutine uses each w at a time (ForEachWorker
+// does).
+func (pe *ParallelEvaluator) evalFor(w int, c Config) Point {
+	return pe.evalOn(pe.perWorker[w], c)
+}
+
+// evalOn runs the memo-cache protocol around inner. A cache hit allocates
+// nothing: the key is the packed hash, collisions chain through the shard's
+// entries, and the stored Point is returned as-is.
+func (pe *ParallelEvaluator) evalOn(inner Evaluator, c Config) Point {
+	h := c.Hash()
+	sh := &pe.shards[h%memoShards]
 	sh.mu.Lock()
-	if e, ok := sh.entries[key]; ok {
-		sh.mu.Unlock()
-		<-e.done
-		return e.p
+	head := sh.entries[h]
+	for e := head; e != nil; e = e.next {
+		if e.cfg.Equal(c) {
+			sh.mu.Unlock()
+			<-e.done
+			return e.p
+		}
 	}
-	e := &memoEntry{done: make(chan struct{})}
-	sh.entries[key] = e
+	e := &memoEntry{cfg: c.Clone(), next: head, done: make(chan struct{})}
+	sh.entries[h] = e
 	sh.mu.Unlock()
 
-	objs, err := pe.inner.Evaluate(c)
-	e.p = Point{Config: c.Clone(), Objs: objs, Feasible: err == nil}
+	objs, err := pe.evaluate(inner, c)
+	e.p = Point{Config: e.cfg, Objs: objs, Feasible: err == nil}
 	pe.evaluated.Add(1)
 	if err != nil {
 		pe.infeasible.Add(1)
@@ -103,12 +146,35 @@ func (pe *ParallelEvaluator) Eval(c Config) Point {
 	return e.p
 }
 
+// evaluate dispatches to the scratch-reuse API when inner provides one.
+// The Objectives buffer it fills is the one stored in the cache entry, so
+// the compiled path's only per-miss allocations are the entry and that
+// buffer — both of which outlive the call by design.
+func (pe *ParallelEvaluator) evaluate(inner Evaluator, c Config) (Objectives, error) {
+	if ie, ok := inner.(IntoEvaluator); ok {
+		objs := make(Objectives, pe.nobj)
+		if err := ie.EvaluateInto(c, objs); err != nil {
+			return nil, err
+		}
+		return objs, nil
+	}
+	return inner.Evaluate(c)
+}
+
 // ForEach runs fn(i) for every i in [0,n) on at most workers goroutines
 // (workers <= 0 selects GOMAXPROCS; one worker runs inline). Workers claim
 // indices from an atomic counter, so scheduling affects only when each
 // index runs, never whether. It is the pool primitive beneath
 // EvaluateBatch, MOSA's chains, and the experiments job runner.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: fn(w, i) runs index i on
+// worker w, where w ranges over [0, min(workers, n)) and each w executes on
+// exactly one goroutine. Worker-indexed scratch therefore needs no
+// synchronization.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -117,7 +183,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -125,16 +191,16 @@ func ForEach(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -145,8 +211,8 @@ func ForEach(n, workers int, fn func(i int)) {
 // cost one evaluation and yield the identical Point.
 func (pe *ParallelEvaluator) EvaluateBatch(configs []Config) []Point {
 	out := make([]Point, len(configs))
-	ForEach(len(configs), pe.workers, func(i int) {
-		out[i] = pe.Eval(configs[i])
+	ForEachWorker(len(configs), pe.workers, func(w, i int) {
+		out[i] = pe.evalFor(w, configs[i])
 	})
 	return out
 }

@@ -3,6 +3,7 @@ package dse
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -86,6 +87,175 @@ func TestParallelEvaluatorConcurrentBatches(t *testing.T) {
 	wg.Wait()
 	if evaluated, _ := pe.Stats(); evaluated != len(all) {
 		t.Errorf("evaluated %d distinct configs, want %d", evaluated, len(all))
+	}
+}
+
+// TestConfigHashEqual checks the memo-key pair: equal configs hash and
+// compare equal; gene and length perturbations change Equal (and, for
+// these near-miss cases, the hash too).
+func TestConfigHashEqual(t *testing.T) {
+	c := Config{3, 0, 7, 2}
+	if !c.Equal(Config{3, 0, 7, 2}) || c.Hash() != (Config{3, 0, 7, 2}).Hash() {
+		t.Fatal("identical configs must hash and compare equal")
+	}
+	for _, d := range []Config{{3, 0, 7, 3}, {0, 3, 7, 2}, {3, 0, 7}, {3, 0, 7, 2, 0}} {
+		if c.Equal(d) {
+			t.Fatalf("Equal(%v, %v) = true", c, d)
+		}
+		if c.Hash() == d.Hash() {
+			t.Fatalf("near-miss %v collides with %v (possible but indicates a weak hash)", d, c)
+		}
+	}
+}
+
+// countingEvaluator counts evaluations; used to prove exactly-once caching
+// over two full passes of the space.
+type countingEvaluator struct {
+	inner Evaluator
+	calls atomic.Int64
+}
+
+func (e *countingEvaluator) NumObjectives() int { return e.inner.NumObjectives() }
+func (e *countingEvaluator) Evaluate(c Config) (Objectives, error) {
+	e.calls.Add(1)
+	return e.inner.Evaluate(c)
+}
+
+// TestMemoCollisionChain drives hundreds of distinct configurations
+// through the 64-shard cache (so shards carry multi-entry chains) and
+// checks each is evaluated exactly once and keeps its own result.
+func TestMemoCollisionChain(t *testing.T) {
+	s := testSpace(6, 6, 6)
+	counting := &countingEvaluator{inner: &convexEvaluator{space: s}}
+	pe := NewParallelEvaluator(counting, 4)
+	var all []Config
+	s.Iterate(func(c Config) bool {
+		all = append(all, c.Clone())
+		return true
+	})
+	// Two passes: the second must be served entirely from the cache.
+	first := pe.EvaluateBatch(all)
+	second := pe.EvaluateBatch(all)
+	if got := counting.calls.Load(); got != int64(len(all)) {
+		t.Fatalf("%d evaluator calls for %d distinct configs", got, len(all))
+	}
+	for i := range all {
+		if !reflect.DeepEqual(first[i], second[i]) {
+			t.Fatalf("config %v: cached point differs from first evaluation", all[i])
+		}
+		want, _ := (&convexEvaluator{space: s}).Evaluate(all[i])
+		if !reflect.DeepEqual(first[i].Objs, want) {
+			t.Fatalf("config %v: objs %v, want %v (collision cross-talk?)", all[i], first[i].Objs, want)
+		}
+	}
+}
+
+// forkEvaluator records how many instances Fork produced and which
+// instances evaluated, proving each worker gets (and keeps) its own.
+type forkEvaluator struct {
+	space *Space
+	forks atomic.Int64
+}
+
+type forkInstance struct {
+	inner convexEvaluator
+	busy  atomic.Bool // trips if two goroutines share an instance
+}
+
+func (f *forkEvaluator) NumObjectives() int { return 2 }
+func (f *forkEvaluator) Evaluate(c Config) (Objectives, error) {
+	return (&convexEvaluator{space: f.space}).Evaluate(c)
+}
+func (f *forkEvaluator) Fork() Evaluator {
+	f.forks.Add(1)
+	return &forkInstance{inner: convexEvaluator{space: f.space}}
+}
+
+func (fi *forkInstance) NumObjectives() int { return 2 }
+func (fi *forkInstance) Evaluate(c Config) (Objectives, error) {
+	if !fi.busy.CompareAndSwap(false, true) {
+		panic("dse test: two goroutines entered one forked instance")
+	}
+	defer fi.busy.Store(false)
+	return fi.inner.Evaluate(c)
+}
+
+// TestForkablePerWorkerInstances checks the Forkable contract: the runtime
+// forks one instance per worker and never runs two goroutines on the same
+// instance concurrently.
+func TestForkablePerWorkerInstances(t *testing.T) {
+	s := testSpace(8, 8)
+	fe := &forkEvaluator{space: s}
+	pe := NewParallelEvaluator(fe, 4)
+	if got := fe.forks.Load(); got != 4 {
+		t.Fatalf("NewParallelEvaluator forked %d instances for 4 workers", got)
+	}
+	var all []Config
+	s.Iterate(func(c Config) bool {
+		all = append(all, c.Clone())
+		return true
+	})
+	ref := NewParallelEvaluator(&convexEvaluator{space: s}, 1).EvaluateBatch(all)
+	got := pe.EvaluateBatch(all)
+	for i := range ref {
+		if !reflect.DeepEqual(ref[i].Objs, got[i].Objs) || ref[i].Feasible != got[i].Feasible {
+			t.Fatalf("forked batch point %d differs: %+v vs %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+// intoEvaluator implements the scratch-objectives fast path.
+type intoEvaluator struct {
+	convexEvaluator
+	intoCalls atomic.Int64
+}
+
+func (e *intoEvaluator) EvaluateInto(c Config, objs Objectives) error {
+	e.intoCalls.Add(1)
+	got, err := e.convexEvaluator.Evaluate(c)
+	if err != nil {
+		return err
+	}
+	copy(objs, got)
+	return nil
+}
+
+// TestIntoEvaluatorDispatch checks that the runtime routes cache misses
+// through EvaluateInto when available and stores equivalent points.
+func TestIntoEvaluatorDispatch(t *testing.T) {
+	s := testSpace(5, 5)
+	ie := &intoEvaluator{convexEvaluator: convexEvaluator{space: s}}
+	pe := NewParallelEvaluator(ie, 2)
+	var all []Config
+	s.Iterate(func(c Config) bool {
+		all = append(all, c.Clone())
+		return true
+	})
+	got := pe.EvaluateBatch(all)
+	if ie.intoCalls.Load() == 0 {
+		t.Fatal("EvaluateInto never called: runtime is not using the scratch path")
+	}
+	for i := range all {
+		want, _ := (&convexEvaluator{space: s}).Evaluate(all[i])
+		if !reflect.DeepEqual(got[i].Objs, want) {
+			t.Fatalf("point %d objs %v, want %v", i, got[i].Objs, want)
+		}
+	}
+}
+
+// TestEvalCacheHitZeroAllocs pins the memo-cache rework: a cache hit keys
+// on the packed uint64 hash and allocates nothing (the old string key cost
+// one allocation per lookup).
+func TestEvalCacheHitZeroAllocs(t *testing.T) {
+	s := testSpace(6, 6)
+	pe := NewParallelEvaluator(&convexEvaluator{space: s}, 2)
+	c := Config{3, 4}
+	pe.Eval(c) // warm the cache
+	allocs := testing.AllocsPerRun(500, func() {
+		pe.Eval(c)
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates %.1f objects, want 0", allocs)
 	}
 }
 

@@ -84,13 +84,41 @@ func (c Config) Clone() Config {
 	return out
 }
 
-// Key returns a compact map key for memoization.
+// Key returns a compact map key for memoization in string-keyed containers.
+// The batch runtime's memo cache uses the allocation-free Hash/Equal pair
+// instead; Key remains for callers that want a set of configurations.
 func (c Config) Key() string {
 	b := make([]byte, 0, len(c)*3)
 	for _, v := range c {
 		b = append(b, byte(v), byte(v>>8), '|')
 	}
 	return string(b)
+}
+
+// Hash packs the gene indices into a 64-bit FNV-1a hash without
+// allocating — the memo-cache key of the batch runtime. Distinct
+// configurations may collide (the space can exceed 2⁶⁴ points); collisions
+// are resolved by Equal, never by trusting the hash alone.
+func (c Config) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range c {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Equal reports gene-wise equality.
+func (c Config) Equal(d Config) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i, v := range c {
+		if v != d[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Value resolves parameter i of the configuration.

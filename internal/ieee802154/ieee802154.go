@@ -127,6 +127,18 @@ type SuperframeConfig struct {
 	SuperframeOrder int // SO: active-portion exponent
 }
 
+// SuperframeWithGap decodes the design spaces' relative SFO gene:
+// SFO = BO − gap, floored at 0 so every index combination is structurally
+// valid. Both the casestudy and scenario problems (and their compiled
+// pipelines) share this one decode rule.
+func SuperframeWithGap(bo, gap int) SuperframeConfig {
+	so := bo - gap
+	if so < 0 {
+		so = 0
+	}
+	return SuperframeConfig{BeaconOrder: bo, SuperframeOrder: so}
+}
+
 // Validate enforces 0 ≤ SO ≤ BO ≤ 14.
 func (c SuperframeConfig) Validate() error {
 	if c.SuperframeOrder < 0 || c.BeaconOrder > MaxOrder || c.SuperframeOrder > c.BeaconOrder {

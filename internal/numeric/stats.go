@@ -39,6 +39,36 @@ func SampleStdDev(xs []float64) float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
+// MeanStdDev returns the mean and the Bessel-corrected sample standard
+// deviation of xs in a single pass — the fused form of Mean + SampleStdDev
+// that the Eq. 8 combinator runs on its hot path. The mean accumulates as a
+// plain sum, so it is bit-identical to Mean; the dispersion uses Welford's
+// update, whose rounding may differ from the two-pass SampleStdDev by a few
+// ULPs (it is at least as stable). Fewer than two samples yield a zero
+// standard deviation, and an empty slice a zero mean, matching the two-pass
+// helpers.
+func MeanStdDev(xs []float64) (mean, sd float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	var sum, m, m2 float64
+	for i, x := range xs {
+		sum += x
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	if m2 < 0 {
+		m2 = 0 // rounding can drive the accumulator epsilon-negative
+	}
+	return mean, math.Sqrt(m2 / float64(n-1))
+}
+
 // MinMax returns the smallest and largest elements of xs. It panics on an
 // empty slice, which is always a programming error here.
 func MinMax(xs []float64) (min, max float64) {

@@ -26,6 +26,46 @@ func TestSampleStdDev(t *testing.T) {
 	}
 }
 
+func TestMeanStdDevMatchesTwoPass(t *testing.T) {
+	// The fused helper must agree with the two-pass Mean + SampleStdDev
+	// form: the mean bit-identically (it accumulates the same plain sum),
+	// the dispersion within Welford-vs-two-pass rounding.
+	cases := [][]float64{
+		nil,
+		{5},
+		{2, 4, 4, 4, 5, 5, 7, 9},
+		{1e-9, 2e-9, 3e-9},
+		{1e6, 1e6 + 1, 1e6 + 2, 1e6 - 3},
+		{-3.5, 0, 3.5},
+	}
+	for _, xs := range cases {
+		mean, sd := MeanStdDev(xs)
+		if want := Mean(xs); mean != want {
+			t.Errorf("MeanStdDev(%v) mean = %g, want %g (bit-identical)", xs, mean, want)
+		}
+		want := SampleStdDev(xs)
+		if diff := math.Abs(sd - want); diff > 1e-12*math.Max(1, want) {
+			t.Errorf("MeanStdDev(%v) sd = %g, want %g (diff %g)", xs, sd, want, diff)
+		}
+	}
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		mean, sd := MeanStdDev(xs)
+		if mean != Mean(xs) {
+			return false
+		}
+		want := SampleStdDev(xs)
+		return sd >= 0 && math.Abs(sd-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSampleStdDevNonNegative(t *testing.T) {
 	f := func(xs []float64) bool {
 		for _, x := range xs {

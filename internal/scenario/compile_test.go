@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/core"
+	"wsndse/internal/dse"
+)
+
+// TestCompiledMatchesReferenceAllScenarios is the tentpole equivalence
+// guarantee: for every registered scenario, the compiled evaluator returns
+// bit-identical objectives and identical feasibility (including the
+// infeasibility class) to the reference evaluator, both directly and
+// through the batch runtime at worker counts 1 and 8.
+func TestCompiledMatchesReferenceAllScenarios(t *testing.T) {
+	for _, sc := range List() {
+		t.Run(sc.Name, func(t *testing.T) {
+			problem, err := NewProblem(sc, casestudy.DefaultCalibration())
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := problem.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := problem.Evaluator()
+			fast := compiled.Evaluator()
+
+			rng := rand.New(rand.NewSource(int64(len(sc.Name)) * 1237))
+			configs := make([]dse.Config, 0, 260)
+			for i := 0; i < 250; i++ {
+				configs = append(configs, problem.Space().Random(rng))
+			}
+			lo := make(dse.Config, len(problem.Space().Params))
+			hi := make(dse.Config, len(problem.Space().Params))
+			for i, p := range problem.Space().Params {
+				hi[i] = len(p.Values) - 1
+			}
+			configs = append(configs, lo, hi, problem.NominalConfig())
+
+			feasible := 0
+			for _, c := range configs {
+				want, werr := ref.Evaluate(c)
+				got, gerr := fast.Evaluate(c)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("config %v: reference err %v, compiled err %v", c, werr, gerr)
+				}
+				if werr != nil {
+					if core.IsInfeasible(werr) != core.IsInfeasible(gerr) {
+						t.Fatalf("config %v: infeasibility class differs: %v vs %v", c, werr, gerr)
+					}
+					continue
+				}
+				feasible++
+				for k := range want {
+					if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+						t.Fatalf("config %v objective %d: %v, want %v (bitwise)", c, k, got[k], want[k])
+					}
+				}
+			}
+			if feasible == 0 {
+				t.Logf("scenario %s: no feasible configuration in the sample (infeasibility-stress scenario)", sc.Name)
+			}
+
+			// Batch runtime at worker counts 1 and 8 against the
+			// sequential reference.
+			want := dse.NewParallelEvaluator(ref, 1).EvaluateBatch(configs)
+			for _, workers := range []int{1, 8} {
+				got := dse.NewParallelEvaluator(compiled.Evaluator(), workers).EvaluateBatch(configs)
+				for i := range want {
+					if got[i].Feasible != want[i].Feasible {
+						t.Fatalf("workers=%d: config %v feasibility %v, want %v",
+							workers, configs[i], got[i].Feasible, want[i].Feasible)
+					}
+					if !want[i].Feasible {
+						continue
+					}
+					for k := range want[i].Objs {
+						if math.Float64bits(got[i].Objs[k]) != math.Float64bits(want[i].Objs[k]) {
+							t.Fatalf("workers=%d: config %v objective %d: %v, want %v (bitwise)",
+								workers, configs[i], k, got[i].Objs[k], want[i].Objs[k])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledZeroAllocsScenario pins the allocation guarantee on a
+// scenario with per-node MAC views (mixed-ward has payload-override
+// nodes), the structurally richest compiled path.
+func TestCompiledZeroAllocsScenario(t *testing.T) {
+	sc, ok := Lookup("mixed-ward")
+	if !ok {
+		t.Fatal("mixed-ward not registered")
+	}
+	problem, err := NewProblem(sc, casestudy.DefaultCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := problem.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := compiled.Evaluator().(dse.Forkable).Fork().(dse.IntoEvaluator)
+
+	rng := rand.New(rand.NewSource(2))
+	var cfg dse.Config
+	for i := 0; ; i++ {
+		c := problem.Space().Random(rng)
+		if _, err := eval.Evaluate(c); err == nil {
+			cfg = c
+			break
+		}
+		if i > 20000 {
+			t.Fatal("no feasible mixed-ward configuration found")
+		}
+	}
+	objs := make(dse.Objectives, 3)
+	if err := eval.EvaluateInto(cfg, objs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := eval.EvaluateInto(cfg, objs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("compiled EvaluateInto allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}

@@ -89,14 +89,10 @@ func (p *Problem) Decode(c dse.Config) (Params, error) {
 	if !p.space.Valid(c) {
 		return Params{}, fmt.Errorf("scenario %q: invalid config %v", p.Scenario.Name, c)
 	}
-	bo := int(p.space.Value(c, 0))
-	so := bo - int(p.space.Value(c, 1))
-	if so < 0 {
-		so = 0
-	}
+	sf := ieee.SuperframeWithGap(int(p.space.Value(c, 0)), int(p.space.Value(c, 1)))
 	out := Params{
-		BeaconOrder:     bo,
-		SuperframeOrder: so,
+		BeaconOrder:     sf.BeaconOrder,
+		SuperframeOrder: sf.SuperframeOrder,
 		PayloadBytes:    int(p.space.Value(c, 2)),
 		CR:              make([]float64, len(p.Scenario.Nodes)),
 		MicroFreq:       make([]units.Hertz, len(p.Scenario.Nodes)),
