@@ -11,15 +11,20 @@ import (
 )
 
 // watchedMetrics are the metrics the diff gate tracks, with their
-// direction: true means higher is worse (ns/op), false means lower is
-// worse (evals/s). Other metrics (error percentages, front sizes) are
-// workload properties, not performance, and stay out of the gate.
+// direction: true means higher is worse (ns/op, allocs/op, B/op), false
+// means lower is worse (evals/s). Allocation metrics are gated because the
+// hot paths are engineered to be allocation-free — a benchmark drifting
+// from 0 allocs/op is a regression even when its ns/op hides it. Other
+// metrics (error percentages, front sizes) are workload properties, not
+// performance, and stay out of the gate.
 var watchedMetrics = []struct {
 	unit        string
 	higherWorse bool
 }{
 	{"ns/op", true},
 	{"evals/s", false},
+	{"allocs/op", true},
+	{"B/op", true},
 }
 
 // DiffRow is one (benchmark, metric) comparison.
@@ -59,12 +64,26 @@ func Diff(baseline, current *Document, thresholdPct float64) (rows []DiffRow, mi
 		for _, m := range watchedMetrics {
 			bv, bok := b.Metrics[m.unit]
 			cv, cok := cur.Metrics[m.unit]
-			if !bok || !cok || bv == 0 {
+			if !bok || !cok {
 				continue
 			}
-			delta := (cv - bv) / bv * 100
-			if !m.higherWorse {
-				delta = -delta // worse-direction positive for both metrics
+			var delta float64
+			switch {
+			case bv != 0:
+				delta = (cv - bv) / bv * 100
+				if !m.higherWorse {
+					delta = -delta // worse-direction positive for every metric
+				}
+			case cv == 0 || !m.higherWorse:
+				// A zero baseline on a higher-is-better metric has no
+				// meaningful regression direction; 0 → 0 is simply holding
+				// the pin.
+				delta = 0
+			default:
+				// Zero-alloc baselines are a hard pin: any drift off zero
+				// is an unbounded relative regression, flagged regardless
+				// of threshold.
+				delta = math.Inf(1)
 			}
 			rows = append(rows, DiffRow{
 				Benchmark: k,
@@ -95,7 +114,7 @@ func RenderDiff(w io.Writer, rows []DiffRow, missing []string, thresholdPct floa
 			regressions++
 		}
 	}
-	fmt.Fprintf(w, "## Benchmark diff vs committed baseline (gate: ±%.0f%% on ns/op and evals/s)\n\n", thresholdPct)
+	fmt.Fprintf(w, "## Benchmark diff vs committed baseline (gate: ±%.0f%% on ns/op, evals/s, allocs/op, B/op)\n\n", thresholdPct)
 	if regressions == 0 {
 		fmt.Fprintf(w, "No regressions beyond %.0f%% across %d comparisons.\n\n", thresholdPct, len(rows))
 	} else {
@@ -113,9 +132,15 @@ func RenderDiff(w io.Writer, rows []DiffRow, missing []string, thresholdPct floa
 		}
 		// DeltaPct is worse-direction positive; render the raw signed
 		// change of the metric itself so the table reads naturally.
-		raw := (r.Current - r.Base) / r.Base * 100
-		fmt.Fprintf(w, "| %s | %s | %s | %s | %+.1f%% | %s |\n",
-			r.Benchmark, r.Metric, humanize(r.Base), humanize(r.Current), raw, status)
+		change := "0.0%"
+		switch {
+		case r.Base != 0:
+			change = fmt.Sprintf("%+.1f%%", (r.Current-r.Base)/r.Base*100)
+		case r.Current != 0:
+			change = "off zero"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			r.Benchmark, r.Metric, humanize(r.Base), humanize(r.Current), change, status)
 	}
 	if len(missing) > 0 {
 		fmt.Fprintf(w, "\nUnmatched benchmarks (no comparison): %d\n\n", len(missing))

@@ -119,6 +119,68 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+// TestDiffAllocMetrics covers the allocation columns of the gate:
+// allocs/op and B/op regressions flag like ns/op ones, and a zero-alloc
+// baseline is a hard pin — any drift off zero flags regardless of the
+// threshold, while 0 → 0 reports a clean row.
+func TestDiffAllocMetrics(t *testing.T) {
+	bench := func(name string, nsop, allocs, bytes float64) Benchmark {
+		return Benchmark{Package: "wsndse", Name: name, Iterations: 1, Metrics: map[string]float64{
+			"ns/op": nsop, "allocs/op": allocs, "B/op": bytes,
+		}}
+	}
+	baseline := &Document{Benchmarks: []Benchmark{
+		bench("Compiled", 900, 0, 0),
+		bench("Reference", 6000, 10, 480),
+	}}
+	current := &Document{Benchmarks: []Benchmark{
+		bench("Compiled", 910, 5, 320),    // off the zero pin: must flag
+		bench("Reference", 6000, 13, 500), // +30% allocs, +4% B/op
+	}}
+	rows, _ := Diff(baseline, current, 20)
+	byKey := map[string]DiffRow{}
+	for _, r := range rows {
+		byKey[r.Benchmark+"|"+r.Metric] = r
+	}
+	if r := byKey["wsndse.Compiled|allocs/op"]; !r.Regressed {
+		t.Errorf("allocs/op off a zero baseline not flagged: %+v", r)
+	}
+	if r := byKey["wsndse.Compiled|B/op"]; !r.Regressed {
+		t.Errorf("B/op off a zero baseline not flagged: %+v", r)
+	}
+	if r := byKey["wsndse.Reference|allocs/op"]; !r.Regressed || r.DeltaPct < 29 {
+		t.Errorf("+30%% allocs/op not flagged: %+v", r)
+	}
+	if r := byKey["wsndse.Reference|B/op"]; r.Regressed {
+		t.Errorf("+4%% B/op wrongly flagged: %+v", r)
+	}
+
+	// Holding the zero pin renders as a clean comparison, not a skip.
+	held, _ := Diff(baseline, &Document{Benchmarks: []Benchmark{
+		bench("Compiled", 900, 0, 0),
+		bench("Reference", 6000, 10, 480),
+	}}, 20)
+	found := false
+	for _, r := range held {
+		if r.Benchmark == "wsndse.Compiled" && r.Metric == "allocs/op" {
+			found = true
+			if r.Regressed || r.DeltaPct != 0 {
+				t.Errorf("0 → 0 allocs/op should be a clean row: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("0 → 0 allocs/op row missing from the diff")
+	}
+
+	// The rendered table spells out the off-zero case.
+	var sb strings.Builder
+	RenderDiff(&sb, rows, nil, 20)
+	if out := sb.String(); !strings.Contains(out, "off zero") {
+		t.Errorf("rendered diff missing the off-zero marker:\n%s", out)
+	}
+}
+
 func TestRenderDiff(t *testing.T) {
 	rows := []DiffRow{
 		{Benchmark: "wsndse.Assign", Metric: "ns/op", Base: 270, Current: 400, DeltaPct: 48.1, Regressed: true},

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"wsndse/internal/baseline"
 	"wsndse/internal/casestudy"
@@ -88,6 +89,7 @@ func main() {
 	fmt.Printf("scenario %s: %d nodes, %.3g configurations, %d objectives, algorithm %s\n",
 		sc.Name, len(sc.Nodes), problem.Space().Size(), eval.NumObjectives(), *algo)
 
+	start := time.Now()
 	var res *dse.Result
 	switch *algo {
 	case "nsga2":
@@ -106,8 +108,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	wall := time.Since(start)
 
-	fmt.Printf("evaluated %d distinct configurations (%d infeasible)\n", res.Evaluated, res.Infeasible)
+	fmt.Printf("evaluated %d distinct configurations (%d infeasible) in %v (%.3g evals/s)\n",
+		res.Evaluated, res.Infeasible, wall.Round(time.Millisecond),
+		float64(res.Evaluated)/wall.Seconds())
 	fmt.Printf("Pareto front: %d points\n\n", len(res.Front))
 	if eval.NumObjectives() == 3 {
 		fmt.Printf("%-12s %-10s %-10s  configuration\n", "energy_mW", "quality", "delay_ms")

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"wsndse/internal/casestudy"
 	"wsndse/internal/cliutil"
@@ -112,13 +113,18 @@ func main() {
 		cfg.Arrival = sim.ArrivalUniform // what the simulator resolves it to
 	}
 
+	start := time.Now()
 	res, err := sim.Run(cfg)
 	if err != nil {
 		fail(err)
 	}
+	wall := time.Since(start)
 
 	fmt.Printf("simulated %v: %d beacons, stable=%v, arrival=%v, PER=%g\n",
 		res.Duration, res.BeaconsSent, res.Stable, cfg.Arrival, cfg.PacketErrorRate)
+	fmt.Printf("engine: %d events in %v (%.3g events/s, %.0fx real time)\n",
+		res.Events, wall.Round(time.Microsecond),
+		float64(res.Events)/wall.Seconds(), float64(res.Duration)/wall.Seconds())
 	fmt.Printf("%-12s %10s %9s %9s %9s %10s %7s %7s %9s %9s\n",
 		"node", "total", "sensor", "µC", "radio", "delivered", "pkts", "retry", "delay avg", "delay max")
 	for _, n := range res.Nodes {

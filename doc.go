@@ -83,6 +83,31 @@
 // once, results be memoized process-wide, scratch be reused per worker
 // (dse.Forkable), and fronts stay bit-identical at every worker count.
 //
+// # Search-layer performance
+//
+// With evaluation allocation-free, the search machinery above it is
+// engineered the same way. NSGA-II runs an ENS/Jensen-style fast
+// non-dominated sort — O(N log N) for the two-objective case, ENS with
+// binary search over fronts for three and more — on a reusable workspace,
+// ranks each generation's parent∪offspring union exactly once (the
+// survivors carry their union rank and crowding into the next
+// generation's tournaments, as in Deb's formulation), and recycles gene
+// and point buffers, so a steady-state generation performs zero heap
+// allocations. The Pareto archive stores its front sorted by lexicographic
+// objective order, which turns two-objective insertion into
+// O(log N + k)-comparison maintenance and prunes the dominance scans in
+// higher dimensions; MOSA chains reuse a single neighbour buffer. The sim
+// engine's event core is typed: value-slot events in a slab recycled
+// through a free list, ordered by an index-addressed min-heap and
+// dispatched by (kind, node, arg) with no closure or interface boxing —
+// At/After remain as closure-compatibility wrappers. Property tests prove
+// the fast sort produces exactly the naive reference's ranks and
+// bit-identical crowding on randomized populations, seeded NSGA-II runs
+// are bit-identical with either sort wired in, and the incremental archive
+// retains exactly the naive archive's points; AllocsPerRun regression
+// tests pin the generation loop, the annealing chain and the typed event
+// path at 0 allocs/op, and CI runs them uninstrumented in the test matrix.
+//
 // The benchmarks in bench_test.go regenerate every evaluation artifact
 // (including parallel-vs-sequential exploration pairs and the
 // reference-vs-compiled evaluator twins, with allocs/op reported);

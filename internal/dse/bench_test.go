@@ -1,0 +1,135 @@
+package dse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPoints draws n feasible points with continuous 2-objective vectors
+// — a representative mix of dominated and non-dominated inputs for the
+// Pareto machinery benchmarks.
+func benchPoints(n, m int) []Point {
+	r := rand.New(rand.NewSource(int64(n)*31 + int64(m)))
+	pts := make([]Point, n)
+	for i := range pts {
+		objs := make(Objectives, m)
+		for d := range objs {
+			objs[d] = r.Float64() * 100
+		}
+		pts[i] = Point{Config: Config{i}, Objs: objs, Feasible: true}
+	}
+	return pts
+}
+
+// benchNonDominated times the batch Pareto filter at the given scale; the
+// N ∈ {64, 256, 1024} ladder lets `benchjson diff` track the
+// O(N²) → O(N log N) rewrite across sizes.
+func benchNonDominated(b *testing.B, n int) {
+	pts := benchPoints(n, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(NonDominated(pts)) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+}
+
+func BenchmarkNonDominated64(b *testing.B)   { benchNonDominated(b, 64) }
+func BenchmarkNonDominated256(b *testing.B)  { benchNonDominated(b, 256) }
+func BenchmarkNonDominated1024(b *testing.B) { benchNonDominated(b, 1024) }
+
+// benchArchiveInsert times one full insertion sequence — n points into a
+// fresh archive — so ns/op covers the incremental maintenance the search
+// loops actually pay, evictions and rejections included.
+func benchArchiveInsert(b *testing.B, n int) {
+	pts := benchPoints(n, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var arch Archive
+		for _, p := range pts {
+			arch.Add(p)
+		}
+		if arch.Len() == 0 {
+			b.Fatal("empty archive")
+		}
+	}
+}
+
+func BenchmarkArchiveInsert64(b *testing.B)   { benchArchiveInsert(b, 64) }
+func BenchmarkArchiveInsert256(b *testing.B)  { benchArchiveInsert(b, 256) }
+func BenchmarkArchiveInsert1024(b *testing.B) { benchArchiveInsert(b, 1024) }
+
+// benchRankAndCrowd times one non-dominated sort + crowding pass over a
+// 2N union (the environmental-selection workload) through the fast
+// workspace sort or the O(MN²) reference.
+func benchRankAndCrowd(b *testing.B, n int, naive bool) {
+	pts := benchPoints(n, 2)
+	var ws sortWorkspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive {
+			rankAndCrowdNaive(pts)
+		} else {
+			ws.rankAndCrowd(pts)
+		}
+	}
+}
+
+func BenchmarkRankAndCrowd64(b *testing.B)        { benchRankAndCrowd(b, 64, false) }
+func BenchmarkRankAndCrowd256(b *testing.B)       { benchRankAndCrowd(b, 256, false) }
+func BenchmarkRankAndCrowd1024(b *testing.B)      { benchRankAndCrowd(b, 1024, false) }
+func BenchmarkRankAndCrowdNaive256(b *testing.B)  { benchRankAndCrowd(b, 256, true) }
+func BenchmarkRankAndCrowdNaive1024(b *testing.B) { benchRankAndCrowd(b, 1024, true) }
+
+// BenchmarkNSGA2Generations256 times seeded NSGA-II at population 256 on a
+// cheap analytic evaluator, so the search machinery — tournaments,
+// variation, non-dominated sorting, environmental selection, archive — is
+// the measured cost rather than the model. Generations per second is the
+// headline search-layer throughput.
+func BenchmarkNSGA2Generations256(b *testing.B) {
+	s := testSpace(64, 16, 16)
+	eval := &convexEvaluator{space: s}
+	const gens = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := NSGA2(s, eval, NSGA2Config{
+			PopulationSize: 256, Generations: gens, Seed: int64(i + 1), Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Front) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+	b.ReportMetric(float64(b.N*gens)/b.Elapsed().Seconds(), "gens/s")
+}
+
+// BenchmarkNSGA2Generations256Naive is the same workload with the O(MN²)
+// reference sort wired in — the before/after pair for the search-layer
+// overhaul's headline claim.
+func BenchmarkNSGA2Generations256Naive(b *testing.B) {
+	testNaiveRank = true
+	defer func() { testNaiveRank = false }()
+	s := testSpace(64, 16, 16)
+	eval := &convexEvaluator{space: s}
+	const gens = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := NSGA2(s, eval, NSGA2Config{
+			PopulationSize: 256, Generations: gens, Seed: int64(i + 1), Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Front) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+	b.ReportMetric(float64(b.N*gens)/b.Elapsed().Seconds(), "gens/s")
+}

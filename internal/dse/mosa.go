@@ -110,7 +110,10 @@ func MOSA(space *Space, eval Evaluator, cfg MOSAConfig) (*Result, error) {
 }
 
 // annealChain runs one independent annealing chain into arch, evaluating
-// on worker w's private evaluator instance.
+// on worker w's private evaluator instance. The chain owns a single gene
+// buffer for its candidate moves: the memo cache clones configurations it
+// keeps, so a steady-state iteration (cache hit, archive unchanged)
+// performs zero heap allocations.
 func annealChain(space *Space, pe *ParallelEvaluator, w int, cfg MOSAConfig, ch int, arch *Archive) {
 	rng := rand.New(rand.NewSource(chainSeed(cfg.Seed, ch)))
 
@@ -130,12 +133,15 @@ func annealChain(space *Space, pe *ParallelEvaluator, w int, cfg MOSAConfig, ch 
 		return float64(dominated) / float64(arch.Len())
 	}
 
-	cur := pe.evalFor(w, space.Random(rng))
+	buf := make(Config, len(space.Params))
+	space.RandomInto(rng, buf)
+	cur := pe.evalFor(w, buf)
 	arch.Add(cur)
 	curE := energy(cur)
 	temp := cfg.InitialTemp
 	for it := 0; it < cfg.Iterations/cfg.Restarts; it++ {
-		cand := pe.evalFor(w, space.Neighbor(rng, cur.Config))
+		space.NeighborInto(rng, buf, cur.Config)
+		cand := pe.evalFor(w, buf)
 		arch.Add(cand)
 		candE := energy(cand)
 		if candE <= curE || rng.Float64() < math.Exp(-(candE-curE)/temp) {

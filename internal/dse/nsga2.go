@@ -2,7 +2,6 @@ package dse
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 )
@@ -62,13 +61,18 @@ func (c NSGA2Config) withDefaults(genes int) NSGA2Config {
 // NSGA2 runs the elitist non-dominated-sorting genetic algorithm of Deb et
 // al. — the "genetic algorithms (which have already been used in the WSN
 // domain)" the paper drives with its model (§5.2). The returned front is
-// the non-dominated set over every point evaluated during the run, not
-// merely the final population.
+// the non-dominated set over every point evaluated during the run (in
+// lexicographic objective order), not merely the final population.
 //
 // Each generation's offspring population is produced sequentially from the
 // seeded RNG (tournament selection only reads the parent generation, so no
 // offspring depends on a sibling's evaluation) and then evaluated in one
-// EvaluateBatch across cfg.Workers.
+// batch across cfg.Workers. The generation loop runs on pre-sized, pooled
+// buffers — gene scratch, the parent∪offspring union, the fast
+// non-dominated sort's workspace — so steady-state generations are
+// allocation-free: after the memo cache saturates, a generation performs
+// zero heap allocations (TestNSGA2GenerationSteadyStateZeroAllocs pins
+// this).
 func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
@@ -84,101 +88,143 @@ func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
 	pe := NewParallelEvaluator(eval, cfg.Workers)
 	var arch Archive
 
-	seeds := make([]Config, cfg.PopulationSize)
-	for i := range seeds {
-		seeds[i] = space.Random(rng)
-	}
-	pop := pe.EvaluateBatch(seeds)
-	for _, p := range pop {
-		arch.Add(p)
-	}
-
+	r := newNSGA2Run(space, pe, cfg)
+	r.seed(rng, &arch)
 	for gen := 0; gen < cfg.Generations; gen++ {
-		ranks, crowd := rankAndCrowd(pop)
-
-		// Variation: binary tournaments pick parents, uniform
-		// crossover plus per-gene mutation produce offspring.
-		children := make([]Config, 0, cfg.PopulationSize)
-		for len(children) < cfg.PopulationSize {
-			a := tournament(rng, pop, ranks, crowd)
-			b := tournament(rng, pop, ranks, crowd)
-			var child Config
-			if rng.Float64() < cfg.CrossoverProb {
-				child = space.Crossover(rng, pop[a].Config, pop[b].Config)
-			} else {
-				child = pop[a].Config.Clone()
-			}
-			children = append(children, space.Mutate(rng, child, cfg.MutationProb))
-		}
-		offspring := pe.EvaluateBatch(children)
-		for _, p := range offspring {
-			arch.Add(p)
-		}
-
-		// Elitist environmental selection over parents ∪ offspring.
-		pop = environmentalSelection(append(pop, offspring...), cfg.PopulationSize)
+		r.generation(rng, &arch)
 	}
 	evaluated, infeasible := pe.Stats()
 	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
 }
 
-// rankAndCrowd computes the non-domination rank (0 = best) and crowding
-// distance of each population member under constrained dominance.
-func rankAndCrowd(pop []Point) (ranks []int, crowd []float64) {
-	n := len(pop)
-	ranks = make([]int, n)
-	crowd = make([]float64, n)
+// nsga2Run owns every buffer of the generation loop, pre-sized so the
+// steady state allocates nothing: gene scratch for one offspring batch,
+// the parent∪offspring union, rank/crowding arrays for both, the fast
+// sort's workspace and the environmental-selection permutation.
+type nsga2Run struct {
+	space *Space
+	pe    *ParallelEvaluator
+	cfg   NSGA2Config
 
-	dominatedBy := make([][]int, n) // dominatedBy[i]: indices i dominates
-	count := make([]int, n)         // how many dominate i
+	pop       []Point   // current population
+	ranks     []int     // pop's ranks, carried from the union ranking
+	crowd     []float64 // pop's crowding, carried from the union ranking
+	children  []Config  // reusable gene buffers, one per offspring
+	offspring []Point   // offspring evaluation results
+	union     []Point   // pop ∪ offspring
+	selIdx    []int     // environmental-selection permutation
+	ws        sortWorkspace
+	sel       selSorter
+}
+
+func newNSGA2Run(space *Space, pe *ParallelEvaluator, cfg NSGA2Config) *nsga2Run {
+	n := cfg.PopulationSize
+	r := &nsga2Run{
+		space:     space,
+		pe:        pe,
+		cfg:       cfg,
+		pop:       make([]Point, 0, n),
+		ranks:     make([]int, n),
+		crowd:     make([]float64, n),
+		children:  make([]Config, n),
+		offspring: make([]Point, n),
+		union:     make([]Point, 0, 2*n),
+		selIdx:    make([]int, 2*n),
+	}
+	for i := range r.children {
+		r.children[i] = make(Config, len(space.Params))
+	}
+	return r
+}
+
+// seed draws and evaluates the initial population and ranks it for the
+// first generation's tournaments.
+func (r *nsga2Run) seed(rng *rand.Rand, arch *Archive) {
+	for i := range r.children {
+		r.space.RandomInto(rng, r.children[i])
+	}
+	r.pop = r.pe.EvaluateBatchInto(r.children, r.pop)
+	for _, p := range r.pop {
+		arch.Add(p)
+	}
+	ranks, crowd := r.ws.rankAndCrowd(r.pop)
+	copy(r.ranks, ranks)
+	copy(r.crowd, crowd)
+}
+
+// generation advances the population by one NSGA-II step: binary
+// tournaments pick parents, uniform crossover plus per-gene mutation
+// produce offspring, and environmental selection keeps the best
+// PopulationSize points of parents ∪ offspring by (rank, crowding). The
+// union is ranked exactly once; the survivors carry their union rank and
+// crowding into the next generation's tournaments, as in Deb's original
+// formulation.
+func (r *nsga2Run) generation(rng *rand.Rand, arch *Archive) {
+	n := r.cfg.PopulationSize
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			if dominatesConstrained(pop[i], pop[j]) {
-				dominatedBy[i] = append(dominatedBy[i], j)
-			} else if dominatesConstrained(pop[j], pop[i]) {
-				count[i]++
-			}
+		a := tournament(rng, r.pop, r.ranks, r.crowd)
+		b := tournament(rng, r.pop, r.ranks, r.crowd)
+		child := r.children[i]
+		if rng.Float64() < r.cfg.CrossoverProb {
+			r.space.CrossoverInto(rng, child, r.pop[a].Config, r.pop[b].Config)
+		} else {
+			copy(child, r.pop[a].Config)
 		}
+		r.space.MutateInPlace(rng, child, r.cfg.MutationProb)
 	}
-	var front []int
+	r.offspring = r.pe.EvaluateBatchInto(r.children, r.offspring)
+	for _, p := range r.offspring {
+		arch.Add(p)
+	}
+
+	// Elitist environmental selection over parents ∪ offspring, reusing
+	// the union's ranking for the survivors.
+	r.union = r.union[:0]
+	r.union = append(r.union, r.pop...)
+	r.union = append(r.union, r.offspring...)
+	uRanks, uCrowd := r.ws.rankAndCrowd(r.union)
+	idx := r.selIdx[:len(r.union)]
+	for i := range idx {
+		idx[i] = i
+	}
+	r.sel.ranks, r.sel.crowd, r.sel.idx = uRanks, uCrowd, idx
+	sort.Sort(&r.sel)
+	r.pop = r.pop[:n]
 	for i := 0; i < n; i++ {
-		if count[i] == 0 {
-			ranks[i] = 0
-			front = append(front, i)
-		}
+		r.pop[i] = r.union[idx[i]]
+		r.ranks[i] = uRanks[idx[i]]
+		r.crowd[i] = uCrowd[idx[i]]
 	}
-	rank := 0
-	for len(front) > 0 {
-		var next []int
-		for _, i := range front {
-			for _, j := range dominatedBy[i] {
-				count[j]--
-				if count[j] == 0 {
-					ranks[j] = rank + 1
-					next = append(next, j)
-				}
-			}
-		}
-		// Crowding within this front.
-		members := make([]Point, len(front))
-		for k, i := range front {
-			members[k] = pop[i]
-		}
-		d := CrowdingDistance(members)
-		for k, i := range front {
-			crowd[i] = d[k]
-		}
-		front = next
-		rank++
+}
+
+// selSorter orders union indices best-first for environmental selection:
+// rank ascending, then crowding descending, then index — a total order, so
+// selection is deterministic even among exact (rank, crowding) ties.
+type selSorter struct {
+	ranks []int
+	crowd []float64
+	idx   []int
+}
+
+func (s *selSorter) Len() int      { return len(s.idx) }
+func (s *selSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *selSorter) Less(i, j int) bool {
+	a, b := s.idx[i], s.idx[j]
+	if s.ranks[a] != s.ranks[b] {
+		return s.ranks[a] < s.ranks[b]
 	}
-	return ranks, crowd
+	if s.crowd[a] != s.crowd[b] {
+		return s.crowd[a] > s.crowd[b]
+	}
+	return a < b
 }
 
 // tournament returns the index of the binary-tournament winner: lower rank
-// wins, ties broken by larger crowding distance.
+// wins, ties broken by larger crowding distance. Exact (rank, crowding)
+// ties flip a coin from the run's seeded rng — the old `crowd[a] >=
+// crowd[b]` rule always handed ties to the first draw, a systematic
+// selection bias toward earlier tournament positions. Runs stay
+// deterministic per seed; the coin is only drawn on exact ties.
 func tournament(rng *rand.Rand, pop []Point, ranks []int, crowd []float64) int {
 	a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
 	switch {
@@ -186,34 +232,13 @@ func tournament(rng *rand.Rand, pop []Point, ranks []int, crowd []float64) int {
 		return a
 	case ranks[b] < ranks[a]:
 		return b
-	case crowd[a] >= crowd[b]:
+	case crowd[a] > crowd[b]:
 		return a
-	default:
+	case crowd[b] > crowd[a]:
 		return b
 	}
-}
-
-// environmentalSelection keeps the best `size` points by (rank, crowding).
-func environmentalSelection(union []Point, size int) []Point {
-	ranks, crowd := rankAndCrowd(union)
-	idx := make([]int, len(union))
-	for i := range idx {
-		idx[i] = i
+	if rng.Intn(2) == 0 {
+		return a
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		if ranks[ia] != ranks[ib] {
-			return ranks[ia] < ranks[ib]
-		}
-		ca, cb := crowd[ia], crowd[ib]
-		if math.IsInf(ca, 1) && math.IsInf(cb, 1) {
-			return ia < ib // stable among boundary points
-		}
-		return ca > cb
-	})
-	out := make([]Point, size)
-	for i := 0; i < size; i++ {
-		out[i] = union[idx[i]]
-	}
-	return out
+	return b
 }

@@ -210,7 +210,25 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 // evaluation. Duplicate configurations (within the batch or across batches)
 // cost one evaluation and yield the identical Point.
 func (pe *ParallelEvaluator) EvaluateBatch(configs []Config) []Point {
-	out := make([]Point, len(configs))
+	return pe.EvaluateBatchInto(configs, nil)
+}
+
+// EvaluateBatchInto is EvaluateBatch writing into a caller-provided slice,
+// which is grown only when its capacity is short and returned re-sliced to
+// len(configs) — the allocation-free form the generation loops run on.
+// With one worker the batch runs inline on the caller's goroutine, so a
+// fully memoized batch performs zero heap allocations.
+func (pe *ParallelEvaluator) EvaluateBatchInto(configs []Config, out []Point) []Point {
+	if cap(out) < len(configs) {
+		out = make([]Point, len(configs))
+	}
+	out = out[:len(configs)]
+	if pe.workers <= 1 {
+		for i := range configs {
+			out[i] = pe.evalFor(0, configs[i])
+		}
+		return out
+	}
 	ForEachWorker(len(configs), pe.workers, func(w, i int) {
 		out[i] = pe.evalFor(w, configs[i])
 	})

@@ -55,31 +55,72 @@ func dominatesConstrained(a, b Point) bool {
 }
 
 // NonDominated filters points to the Pareto-optimal subset among the
-// feasible ones (infeasible points never survive). Duplicate objective
-// vectors are kept once.
+// feasible ones (infeasible points never survive), preserving input order.
+// Duplicate objective vectors are kept once (the earliest occurrence).
+//
+// The filter runs on the lexicographic prefilter of the fast
+// non-dominated sort: after sorting feasible points by objectives only a
+// lexicographic predecessor can dominate a point, so the two-objective
+// case is a single O(N log N) sweep and higher dimensions compare each
+// point against the provisional front only.
 func NonDominated(points []Point) []Point {
-	var out []Point
-	for i, p := range points {
-		if !p.Feasible {
-			continue
+	order := make([]int, 0, len(points))
+	for i := range points {
+		if points[i].Feasible {
+			order = append(order, i)
 		}
-		dominated := false
-		duplicate := false
-		for j, q := range points {
-			if i == j || !q.Feasible {
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	lex := lexSorter{pop: points, idx: order}
+	sort.Sort(&lex)
+
+	keep := make([]bool, len(points))
+	if len(points[order[0]].Objs) == 2 {
+		// Sweep: a distinct lexicographic predecessor dominates iff its
+		// second objective is <= ours; track the running minimum.
+		best := math.Inf(1)
+		for k, i := range order {
+			if k > 0 && equalObjs(points[order[k-1]].Objs, points[i].Objs) {
+				continue // duplicate: first occurrence already decided
+			}
+			if f2 := points[i].Objs[1]; f2 < best {
+				keep[i] = true
+				best = f2
+			}
+		}
+	} else {
+		front := order[:0:0] // front member indices, lex order
+		for k, i := range order {
+			if k > 0 && equalObjs(points[order[k-1]].Objs, points[i].Objs) {
 				continue
 			}
-			if Dominates(q.Objs, p.Objs) {
-				dominated = true
-				break
+			dominated := false
+			for m := len(front) - 1; m >= 0; m-- {
+				q := points[front[m]].Objs
+				dom := true
+				for d := range q {
+					if q[d] > points[i].Objs[d] {
+						dom = false
+						break
+					}
+				}
+				if dom {
+					dominated = true
+					break
+				}
 			}
-			if j < i && equalObjs(q.Objs, p.Objs) {
-				duplicate = true
-				break
+			if !dominated {
+				keep[i] = true
+				front = append(front, i)
 			}
 		}
-		if !dominated && !duplicate {
-			out = append(out, p)
+	}
+	var out []Point
+	for i := range points {
+		if keep[i] {
+			out = append(out, points[i])
 		}
 	}
 	return out
@@ -97,65 +138,112 @@ func equalObjs(a, b Objectives) bool {
 	return true
 }
 
-// Archive maintains a non-dominated set incrementally.
+// Archive maintains a non-dominated set incrementally, stored sorted by
+// lexicographic objective order. Keeping the front sorted by the first
+// objective is what makes insertion cheap: only lexicographic predecessors
+// can dominate a candidate and only successors can be dominated by it, so
+// the two-objective case (where sortedness additionally forces the second
+// objective to be strictly decreasing) inserts in O(log N + k) comparisons
+// for k evictions, and higher dimensions scan one pruned side each instead
+// of the whole front twice.
 type Archive struct {
 	points []Point
 }
 
 // Add inserts p if no archived point dominates it, evicting points it
-// dominates. It reports whether p was inserted.
+// dominates. A point whose objective vector already sits in the archive is
+// rejected (the first occurrence wins). It reports whether p was inserted.
 func (a *Archive) Add(p Point) bool {
 	if !p.Feasible {
 		return false
 	}
-	kept := a.points[:0]
-	for _, q := range a.points {
-		if Dominates(q.Objs, p.Objs) || equalObjs(q.Objs, p.Objs) {
-			return false
-		}
-		if !Dominates(p.Objs, q.Objs) {
-			kept = append(kept, q)
+	n := len(a.points)
+	// First index whose objectives are lexicographically >= p's.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if lexLessObjs(a.points[mid].Objs, p.Objs) {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	a.points = append(kept, p)
+	i := lo
+	if i < n && equalObjs(a.points[i].Objs, p.Objs) {
+		return false
+	}
+	if len(p.Objs) == 2 {
+		// Mutual non-dominance plus lex order force the first objective
+		// strictly increasing and the second strictly decreasing, so the
+		// predecessor carries the minimum f2 left of p (O(1) dominance
+		// check) and p's victims are a contiguous run after it.
+		if i > 0 && a.points[i-1].Objs[1] <= p.Objs[1] {
+			return false
+		}
+		j := i
+		for j < n && a.points[j].Objs[1] >= p.Objs[1] {
+			j++
+		}
+		switch {
+		case j == i: // nobody evicted: open a slot
+			a.points = append(a.points, Point{})
+			copy(a.points[i+1:], a.points[i:])
+		case j > i+1: // several evicted: close the gap
+			a.points = append(a.points[:i+1], a.points[j:]...)
+		}
+		a.points[i] = p
+		return true
+	}
+	// M >= 3: a lexicographic successor can never dominate p and a
+	// predecessor can never be dominated by p, so dominators live strictly
+	// left of i and victims strictly right.
+	for k := 0; k < i; k++ {
+		if Dominates(a.points[k].Objs, p.Objs) {
+			return false
+		}
+	}
+	w := i
+	for k := i; k < n; k++ {
+		if Dominates(p.Objs, a.points[k].Objs) {
+			continue
+		}
+		a.points[w] = a.points[k]
+		w++
+	}
+	a.points = append(a.points[:w], Point{})
+	copy(a.points[i+1:], a.points[i:])
+	a.points[i] = p
 	return true
 }
 
-// Points returns the archived front (shared slice; callers must not
-// modify).
+// lexLessObjs compares objective vectors lexicographically.
+func lexLessObjs(x, y Objectives) bool {
+	for i := range x {
+		if x[i] != y[i] {
+			return x[i] < y[i]
+		}
+	}
+	return false
+}
+
+// Points returns the archived front in lexicographic objective order
+// (shared slice; callers must not modify). The sorted order is part of the
+// determinism story: the archived set never depends on insertion order,
+// and now neither does its presentation.
 func (a *Archive) Points() []Point { return a.points }
 
 // Len returns the archive size.
 func (a *Archive) Len() int { return len(a.points) }
 
 // CrowdingDistance computes the NSGA-II crowding distance of each point in
-// a front. Boundary points get +Inf.
+// a front. Boundary points get +Inf. The per-objective orderings break
+// value ties by front position, so the result is a deterministic function
+// of the front even when objective vectors repeat.
 func CrowdingDistance(front []Point) []float64 {
-	n := len(front)
-	dist := make([]float64, n)
-	if n == 0 {
-		return dist
-	}
-	m := len(front[0].Objs)
-	idx := make([]int, n)
-	for obj := 0; obj < m; obj++ {
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool {
-			return front[idx[a]].Objs[obj] < front[idx[b]].Objs[obj]
-		})
-		lo := front[idx[0]].Objs[obj]
-		hi := front[idx[n-1]].Objs[obj]
-		dist[idx[0]] = math.Inf(1)
-		dist[idx[n-1]] = math.Inf(1)
-		if hi == lo {
-			continue
-		}
-		for k := 1; k < n-1; k++ {
-			dist[idx[k]] += (front[idx[k+1]].Objs[obj] - front[idx[k-1]].Objs[obj]) / (hi - lo)
-		}
-	}
+	dist := make([]float64, len(front))
+	idx := make([]int, len(front))
+	var s objSorter
+	crowdingInto(front, dist, idx, &s)
 	return dist
 }
 

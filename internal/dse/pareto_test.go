@@ -223,6 +223,59 @@ func TestCrowdingDistance(t *testing.T) {
 	}
 }
 
+// TestCrowdingDistanceEdgeCases covers the degenerate fronts the
+// randomized equivalence tests may sample thinly: duplicate objective
+// vectors, singleton fronts, all-equal fronts, and two-member fronts.
+func TestCrowdingDistanceEdgeCases(t *testing.T) {
+	// Duplicate vectors: deterministic tie-break means the first duplicate
+	// takes the boundary +Inf and later ones get finite (zero-width)
+	// contributions — crucially, never NaN, and stable across calls.
+	dup := mkPoints([]float64{0, 4}, []float64{2, 2}, []float64{2, 2}, []float64{4, 0})
+	d1 := CrowdingDistance(dup)
+	d2 := CrowdingDistance(dup)
+	for i := range d1 {
+		if math.IsNaN(d1[i]) {
+			t.Errorf("duplicate front produced NaN at %d: %v", i, d1)
+		}
+		if d1[i] != d2[i] {
+			t.Errorf("crowding not deterministic on duplicates: %v vs %v", d1, d2)
+		}
+	}
+	if !math.IsInf(d1[0], 1) || !math.IsInf(d1[3], 1) {
+		t.Errorf("boundary points lost +Inf: %v", d1)
+	}
+
+	// Single-member front: the lone point is both boundaries.
+	single := CrowdingDistance(mkPoints([]float64{3, 7}))
+	if len(single) != 1 || !math.IsInf(single[0], 1) {
+		t.Errorf("singleton crowding = %v, want [+Inf]", single)
+	}
+
+	// All-equal objectives: every point is a boundary candidate in a
+	// zero-width range; no NaNs, no negative distances.
+	same := mkPoints([]float64{1, 1}, []float64{1, 1}, []float64{1, 1}, []float64{1, 1})
+	for i, v := range CrowdingDistance(same) {
+		if math.IsNaN(v) || v < 0 {
+			t.Errorf("all-equal front: dist[%d] = %v", i, v)
+		}
+	}
+
+	// Two members: both are boundaries in every objective.
+	pair := CrowdingDistance(mkPoints([]float64{0, 1}, []float64{1, 0}))
+	if !math.IsInf(pair[0], 1) || !math.IsInf(pair[1], 1) {
+		t.Errorf("two-member front crowding = %v, want both +Inf", pair)
+	}
+
+	// Three objectives with one degenerate (constant) dimension: the
+	// constant axis contributes nothing, the others still accumulate.
+	tri := CrowdingDistance(mkPoints(
+		[]float64{0, 4, 5}, []float64{2, 2, 5}, []float64{4, 0, 5},
+	))
+	if !math.IsInf(tri[0], 1) || !math.IsInf(tri[2], 1) || tri[1] <= 0 || math.IsInf(tri[1], 1) {
+		t.Errorf("degenerate-axis crowding = %v", tri)
+	}
+}
+
 func TestHypervolume2D(t *testing.T) {
 	front := mkPoints([]float64{1, 3}, []float64{2, 2}, []float64{3, 1})
 	// Reference (4,4): union of boxes = 3·1 + 1·... compute: sweep:

@@ -142,52 +142,84 @@ func (s *Space) Valid(c Config) bool {
 // Random draws a uniform configuration.
 func (s *Space) Random(rng *rand.Rand) Config {
 	c := make(Config, len(s.Params))
-	for i := range c {
-		c[i] = rng.Intn(len(s.Params[i].Values))
-	}
+	s.RandomInto(rng, c)
 	return c
+}
+
+// RandomInto draws a uniform configuration into dst (length = parameter
+// count) — the allocation-free form the search generation loops run on.
+// The rng draw sequence is identical to Random's.
+func (s *Space) RandomInto(rng *rand.Rand, dst Config) {
+	for i := range dst {
+		dst[i] = rng.Intn(len(s.Params[i].Values))
+	}
 }
 
 // Mutate flips each gene with the given probability to a uniformly chosen
 // value, returning a new configuration.
 func (s *Space) Mutate(rng *rand.Rand, c Config, perGeneProb float64) Config {
 	out := c.Clone()
-	for i := range out {
+	s.MutateInPlace(rng, out, perGeneProb)
+	return out
+}
+
+// MutateInPlace is Mutate on a caller-owned configuration: each gene flips
+// with the given probability to a uniformly chosen value. The rng draw
+// sequence is identical to Mutate's.
+func (s *Space) MutateInPlace(rng *rand.Rand, c Config, perGeneProb float64) {
+	for i := range c {
 		if rng.Float64() < perGeneProb {
-			out[i] = rng.Intn(len(s.Params[i].Values))
+			c[i] = rng.Intn(len(s.Params[i].Values))
 		}
 	}
-	return out
 }
 
 // Neighbor nudges exactly one randomly chosen gene by ±1 (wrapping at the
 // ends), the canonical simulated-annealing move on a discrete grid.
 func (s *Space) Neighbor(rng *rand.Rand, c Config) Config {
 	out := c.Clone()
-	i := rng.Intn(len(out))
+	s.neighborInPlace(rng, out)
+	return out
+}
+
+// NeighborInto writes the ±1 single-gene neighbour of src into dst (equal
+// lengths, dst must not alias src's backing array if src must survive).
+// The rng draw sequence is identical to Neighbor's.
+func (s *Space) NeighborInto(rng *rand.Rand, dst, src Config) {
+	copy(dst, src)
+	s.neighborInPlace(rng, dst)
+}
+
+func (s *Space) neighborInPlace(rng *rand.Rand, c Config) {
+	i := rng.Intn(len(c))
 	n := len(s.Params[i].Values)
 	if n == 1 {
-		return out
+		return
 	}
 	if rng.Intn(2) == 0 {
-		out[i] = (out[i] + 1) % n
+		c[i] = (c[i] + 1) % n
 	} else {
-		out[i] = (out[i] - 1 + n) % n
+		c[i] = (c[i] - 1 + n) % n
 	}
-	return out
 }
 
 // Crossover performs uniform crossover between two parents.
 func (s *Space) Crossover(rng *rand.Rand, a, b Config) Config {
 	out := make(Config, len(a))
-	for i := range out {
+	s.CrossoverInto(rng, out, a, b)
+	return out
+}
+
+// CrossoverInto performs uniform crossover between two parents into dst
+// (all equal lengths). The rng draw sequence is identical to Crossover's.
+func (s *Space) CrossoverInto(rng *rand.Rand, dst, a, b Config) {
+	for i := range dst {
 		if rng.Intn(2) == 0 {
-			out[i] = a[i]
+			dst[i] = a[i]
 		} else {
-			out[i] = b[i]
+			dst[i] = b[i]
 		}
 	}
-	return out
 }
 
 // Iterate enumerates the whole space in lexicographic order, stopping when

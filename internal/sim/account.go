@@ -36,22 +36,28 @@ func (s RadioState) String() string {
 	}
 }
 
-// radioAccount integrates radio energy over the state trajectory.
+// numRadioStates sizes the per-state residency array (states are the
+// contiguous iota block StateSleep..StateTx).
+const numRadioStates = int(StateTx) + 1
+
+// radioAccount integrates radio energy over the state trajectory. State
+// residency accrues into a fixed array — the accounting runs on every
+// radio event, and an array index is both faster than a map probe and
+// allocation-free.
 type radioAccount struct {
 	chip  radio.Chip
 	state RadioState
 	since float64
 
-	energy    float64                // total joules
-	stateTime map[RadioState]float64 // seconds per state
+	energy    float64                 // total joules
+	stateTime [numRadioStates]float64 // seconds per state
 	ramps     int
 }
 
 func newRadioAccount(chip radio.Chip) *radioAccount {
 	return &radioAccount{
-		chip:      chip,
-		state:     StateSleep,
-		stateTime: make(map[RadioState]float64),
+		chip:  chip,
+		state: StateSleep,
 	}
 }
 

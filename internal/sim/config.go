@@ -253,6 +253,9 @@ type Result struct {
 	Duration    units.Seconds
 	Nodes       []NodeResult
 	BeaconsSent int
+	// Events counts the discrete events the engine dispatched during the
+	// run — the numerator of the events-per-second throughput figure.
+	Events int64
 	// Stable reports whether every node's queue drained periodically;
 	// false means the GTS allocation cannot carry the offered load and
 	// delays/queues grew through the run.

@@ -18,60 +18,75 @@
 // identical results, event ties resolving in schedule order.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// event is one scheduled callback.
+// evClosure is the reserved event kind for callbacks scheduled through the
+// At/After compatibility wrappers; every typed kind the dispatcher handles
+// must be nonzero.
+const evClosure uint8 = 0
+
+// event is one slab slot. Scheduled events live in the slab and are
+// addressed by index from the heap; idle slots chain through next on the
+// free list. Typed events carry (kind, node, arg) and cost no allocation;
+// closure events (kind 0) carry fn.
 type event struct {
 	time float64 // absolute simulation time, seconds
 	seq  int64   // tiebreaker: FIFO among simultaneous events
-	fn   func()
+	arg  float64
+	fn   func() // evClosure only
+	next int32  // free-list link while the slot is idle
+	node int32
+	kind uint8
 }
 
-// eventHeap is a min-heap on (time, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Engine is the discrete-event scheduler.
+// Engine is the discrete-event scheduler. Events are value slots in a slab
+// recycled through a free list and ordered by a manual min-heap of slab
+// indices, so steady-state scheduling and dispatch perform zero heap
+// allocations: no per-event box, no container/heap interface boxing, and —
+// for typed events — no closure either.
 type Engine struct {
-	now   float64
-	queue eventHeap
-	seq   int64
+	now        float64
+	seq        int64
+	dispatched int64
+	slab       []event
+	heap       []int32
+	free       int32 // head of the idle-slot list, -1 when empty
+	dispatch   func(kind uint8, node int32, arg float64)
 }
 
 // NewEngine returns an engine at time zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{free: -1} }
+
+// SetDispatcher installs the typed-event handler. Schedule panics without
+// one at dispatch time; pure At/After users never need it.
+func (e *Engine) SetDispatcher(fn func(kind uint8, node int32, arg float64)) { e.dispatch = fn }
 
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// Schedule arms a typed event at absolute time t: at dispatch the engine
+// calls the installed dispatcher with (kind, node, arg). kind 0 is
+// reserved for closures. Scheduling in the past is a programming error and
+// panics.
+func (e *Engine) Schedule(t float64, kind uint8, node int32, arg float64) {
+	if kind == evClosure {
+		panic("sim: event kind 0 is reserved for At/After closures")
+	}
+	e.push(t, kind, node, arg, nil)
+}
+
+// ScheduleAfter schedules a typed event delay seconds from now.
+func (e *Engine) ScheduleAfter(delay float64, kind uint8, node int32, arg float64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %.9f", delay))
+	}
+	e.Schedule(e.now+delay, kind, node, arg)
+}
+
 // At schedules fn at absolute time t. Scheduling in the past is a
 // programming error and panics.
 func (e *Engine) At(t float64, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling at %.9f before now %.9f", t, e.now))
-	}
-	e.seq++
-	heap.Push(&e.queue, &event{time: t, seq: e.seq, fn: fn})
+	e.push(t, evClosure, -1, 0, fn)
 }
 
 // After schedules fn delay seconds from now.
@@ -82,17 +97,97 @@ func (e *Engine) After(delay float64, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
+// push claims a slab slot (free list first, growth only when every slot is
+// live) and sifts its index into the heap.
+func (e *Engine) push(t float64, kind uint8, node int32, arg float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %.9f before now %.9f", t, e.now))
+	}
+	e.seq++
+	var slot int32
+	if e.free >= 0 {
+		slot = e.free
+		e.free = e.slab[slot].next
+	} else {
+		e.slab = append(e.slab, event{})
+		slot = int32(len(e.slab) - 1)
+	}
+	ev := &e.slab[slot]
+	ev.time, ev.seq, ev.kind, ev.node, ev.arg, ev.fn = t, e.seq, kind, node, arg, fn
+	e.heap = append(e.heap, slot)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// less orders slab slots by (time, seq).
+func (e *Engine) less(a, b int32) bool {
+	x, y := &e.slab[a], &e.slab[b]
+	if x.time != y.time {
+		return x.time < y.time
+	}
+	return x.seq < y.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && e.less(h[r], h[l]) {
+			small = r
+		}
+		if !e.less(h[small], h[i]) {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
 // Run processes events in order until the queue empties or the next event
 // lies beyond `until`; the clock finishes at `until` exactly.
 func (e *Engine) Run(until float64) {
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.time > until {
+	for len(e.heap) > 0 {
+		slot := e.heap[0]
+		ev := &e.slab[slot]
+		if ev.time > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		e.now = next.time
-		next.fn()
+		n := len(e.heap) - 1
+		e.heap[0] = e.heap[n]
+		e.heap = e.heap[:n]
+		if n > 0 {
+			e.siftDown(0)
+		}
+		// Copy the payload out and recycle the slot before dispatching,
+		// so the handler can schedule into it; drop the closure reference
+		// so recycled slots never retain captured state.
+		t, kind, node, arg, fn := ev.time, ev.kind, ev.node, ev.arg, ev.fn
+		ev.fn = nil
+		ev.next = e.free
+		e.free = slot
+		e.now = t
+		e.dispatched++
+		if kind == evClosure {
+			fn()
+		} else {
+			e.dispatch(kind, node, arg)
+		}
 	}
 	if e.now < until {
 		e.now = until
@@ -100,4 +195,8 @@ func (e *Engine) Run(until float64) {
 }
 
 // Pending returns the number of queued events, for tests.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Dispatched returns how many events have been processed — the numerator
+// of the events-per-second throughput the CLIs report.
+func (e *Engine) Dispatched() int64 { return e.dispatched }

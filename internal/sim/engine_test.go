@@ -67,6 +67,86 @@ func TestEngineChainedScheduling(t *testing.T) {
 	}
 }
 
+func TestEngineTypedEvents(t *testing.T) {
+	e := NewEngine()
+	type rec struct {
+		kind uint8
+		node int32
+		arg  float64
+	}
+	var got []rec
+	e.SetDispatcher(func(kind uint8, node int32, arg float64) {
+		got = append(got, rec{kind, node, arg})
+	})
+	e.Schedule(0.2, 2, 7, 1.5)
+	e.Schedule(0.1, 1, -1, 0)
+	order := 0
+	e.At(0.2, func() { order = len(got) }) // tie with the typed 0.2 event: FIFO
+	e.Run(1)
+	want := []rec{{1, -1, 0}, {2, 7, 1.5}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	if order != 2 {
+		t.Errorf("closure ran before the earlier-scheduled typed tie (saw %d events)", order)
+	}
+	if e.Dispatched() != 3 {
+		t.Errorf("Dispatched = %d, want 3", e.Dispatched())
+	}
+}
+
+func TestEngineKindZeroReserved(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule with kind 0 should panic")
+		}
+	}()
+	e.Schedule(1, 0, 0, 0)
+}
+
+// TestEngineSlotReuse checks the free list: a self-rescheduling chain of
+// events must run in a single recycled slab slot.
+func TestEngineSlotReuse(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.SetDispatcher(func(kind uint8, node int32, arg float64) {
+		count++
+		if count < 1000 {
+			e.ScheduleAfter(0.001, 1, 0, 0)
+		}
+	})
+	e.ScheduleAfter(0.001, 1, 0, 0)
+	e.Run(10)
+	if count != 1000 {
+		t.Fatalf("ran %d events, want 1000", count)
+	}
+	if len(e.slab) != 1 {
+		t.Errorf("slab grew to %d slots for a 1-deep chain", len(e.slab))
+	}
+}
+
+// TestEngineTypedZeroAllocs pins the zero-alloc event core: once the slab
+// and heap are warm, scheduling and dispatching typed events allocates
+// nothing.
+func TestEngineTypedZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	e.SetDispatcher(func(kind uint8, node int32, arg float64) {})
+	for i := 0; i < 64; i++ { // warm slab and heap capacity
+		e.ScheduleAfter(0.001, 1, int32(i), 0)
+	}
+	e.Run(1)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			e.ScheduleAfter(0.001, 1, int32(i), float64(i))
+		}
+		e.Run(e.Now() + 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("typed schedule+dispatch allocates %.1f objects per 64-event batch, want 0", allocs)
+	}
+}
+
 func TestEnginePastSchedulingPanics(t *testing.T) {
 	e := NewEngine()
 	e.At(1, func() {})

@@ -40,7 +40,11 @@ type simNode struct {
 	startSlot int          // first GTS slot in the superframe
 	endSlot   int          // one past the last GTS slot
 
-	queue     []*packet
+	// The MAC queue is a value-typed slice drained from qhead, so enqueue
+	// and dequeue recycle the same backing array instead of allocating a
+	// boxed packet per frame.
+	queue     []packet
+	qhead     int
 	queuePeak int
 
 	delays         []float64
@@ -51,10 +55,30 @@ type simNode struct {
 
 	extraCycles float64 // beacon + packet processing on the µC
 
-	// block-arrival state
+	// arrival-process state (resolved once in startArrivals)
+	interval   float64 // uniform: seconds between frames
+	period     float64 // block: seconds between blocks
+	blockBytes float64 // block: bytes per block
 	carryBytes float64
 	// queue-length samples at each beacon, for the stability verdict
 	queueSamples []int
+}
+
+func (n *simNode) queueLen() int { return len(n.queue) - n.qhead }
+
+func (n *simNode) queueHead() *packet { return &n.queue[n.qhead] }
+
+func (n *simNode) popQueue() {
+	n.qhead++
+	if n.qhead == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.qhead = 0
+	} else if n.qhead > 64 && n.qhead*2 > len(n.queue) {
+		// Compact so a queue that never fully drains cannot grow its
+		// backing array without bound.
+		n.queue = n.queue[:copy(n.queue, n.queue[n.qhead:])]
+		n.qhead = 0
+	}
 }
 
 // simulation bundles the run state.
@@ -70,6 +94,65 @@ type simulation struct {
 	beaconAir float64
 }
 
+// Typed event kinds. Everything the simulation schedules is a typed event
+// — state reconstructible from (kind, node, arg) — so the hot loop
+// allocates neither closures nor boxed events. Kind 0 stays reserved for
+// the engine's At/After closure wrappers.
+const (
+	evRadio        uint8 = iota + 1 // arg: target RadioState
+	evBeaconEnd                     // beacon received: bookkeeping, then sleep
+	evTxWindow                      // GTS window (re)entry; arg: window end
+	evAckDone                       // ack wait finished; arg: window end
+	evBeaconTick                    // coordinator beacon counter (node < 0)
+	evSuperframe                    // chain the next superframe; arg: its index
+	evArrival                       // uniform traffic: one frame
+	evBlockArrival                  // block traffic: one codec block
+)
+
+// dispatch routes typed events; it is the engine's installed dispatcher.
+func (s *simulation) dispatch(kind uint8, node int32, arg float64) {
+	var n *simNode
+	if node >= 0 {
+		n = s.nodes[node]
+	}
+	switch kind {
+	case evRadio:
+		s.setRadio(n, RadioState(int(arg)))
+	case evBeaconEnd:
+		n.extraCycles += s.cfg.BeaconProcCycles
+		n.queueSamples = append(n.queueSamples, n.queueLen())
+		s.setRadio(n, StateSleep)
+	case evTxWindow:
+		s.txWindow(n, arg)
+	case evAckDone:
+		s.ackDone(n, arg)
+	case evBeaconTick:
+		s.beacons++
+	case evSuperframe:
+		s.scheduleSuperframe(int(arg))
+	case evArrival:
+		n.enqueue(packet{payloadBytes: n.payload, created: s.eng.Now()})
+		s.eng.ScheduleAfter(n.interval, evArrival, node, 0)
+	case evBlockArrival:
+		now := s.eng.Now()
+		n.carryBytes += n.blockBytes
+		for n.carryBytes >= float64(n.payload) {
+			n.enqueue(packet{payloadBytes: n.payload, created: now})
+			n.carryBytes -= float64(n.payload)
+		}
+		if whole := int(n.carryBytes); whole > 0 {
+			// Ship the block's tail as a short frame rather than letting
+			// stale bytes wait for the next block — a real codec flushes
+			// block boundaries.
+			n.enqueue(packet{payloadBytes: whole, created: now})
+			n.carryBytes -= float64(whole)
+		}
+		s.eng.ScheduleAfter(n.period, evBlockArrival, node, 0)
+	default:
+		panic(fmt.Sprintf("sim: unknown event kind %d", kind))
+	}
+}
+
 // Run executes one simulation and returns the per-node results.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
@@ -81,6 +164,7 @@ func Run(cfg Config) (*Result, error) {
 		eng: NewEngine(),
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
+	s.eng.SetDispatcher(s.dispatch)
 	s.bi = float64(cfg.Superframe.BeaconInterval())
 	s.slot = float64(cfg.Superframe.SlotDuration())
 	s.guard = float64(cfg.GuardTime)
@@ -143,43 +227,20 @@ func (s *simulation) startArrivals(n *simNode) {
 		if n.phiOut <= 0 {
 			return
 		}
-		interval := float64(n.payload) / n.phiOut
-		var emit func()
-		emit = func() {
-			now := s.eng.Now()
-			n.enqueue(&packet{payloadBytes: n.payload, created: now})
-			s.eng.After(interval, emit)
-		}
-		s.eng.After(interval, emit)
+		n.interval = float64(n.payload) / n.phiOut
+		s.eng.ScheduleAfter(n.interval, evArrival, int32(n.idx), 0)
 	case ArrivalBlock:
 		fs := float64(n.cfg.SampleFreq)
-		period := float64(s.cfg.BlockSamples) / fs
-		blockBytes := n.phiOut * period
-		var emit func()
-		emit = func() {
-			now := s.eng.Now()
-			n.carryBytes += blockBytes
-			for n.carryBytes >= float64(n.payload) {
-				n.enqueue(&packet{payloadBytes: n.payload, created: now})
-				n.carryBytes -= float64(n.payload)
-			}
-			if whole := int(n.carryBytes); whole > 0 {
-				// Ship the block's tail as a short frame rather
-				// than letting stale bytes wait for the next
-				// block — a real codec flushes block boundaries.
-				n.enqueue(&packet{payloadBytes: whole, created: now})
-				n.carryBytes -= float64(whole)
-			}
-			s.eng.After(period, emit)
-		}
-		s.eng.After(period, emit)
+		n.period = float64(s.cfg.BlockSamples) / fs
+		n.blockBytes = n.phiOut * n.period
+		s.eng.ScheduleAfter(n.period, evBlockArrival, int32(n.idx), 0)
 	}
 }
 
-func (n *simNode) enqueue(p *packet) {
+func (n *simNode) enqueue(p packet) {
 	n.queue = append(n.queue, p)
-	if len(n.queue) > n.queuePeak {
-		n.queuePeak = len(n.queue)
+	if n.queueLen() > n.queuePeak {
+		n.queuePeak = n.queueLen()
 	}
 }
 
@@ -204,19 +265,15 @@ func (s *simulation) scheduleSuperframe(sf int) {
 			rxAt = wake
 		}
 		beaconEnd := tb + s.beaconAir
-		node := n
+		ni := int32(n.idx)
 		if wake >= s.eng.Now() {
-			s.eng.At(wake, func() { s.setRadio(node, StateRamp) })
-			s.eng.At(rxAt, func() { s.setRadio(node, StateRx) })
+			s.eng.Schedule(wake, evRadio, ni, float64(StateRamp))
+			s.eng.Schedule(rxAt, evRadio, ni, float64(StateRx))
 		} else {
 			// First superframe: the radio starts cold at t=0.
-			s.eng.At(tb, func() { s.setRadio(node, StateRx) })
+			s.eng.Schedule(tb, evRadio, ni, float64(StateRx))
 		}
-		s.eng.At(beaconEnd, func() {
-			node.extraCycles += s.cfg.BeaconProcCycles
-			node.queueSamples = append(node.queueSamples, len(node.queue))
-			s.setRadio(node, StateSleep)
-		})
+		s.eng.Schedule(beaconEnd, evBeaconEnd, ni, 0)
 		n.busyUntil = beaconEnd
 
 		if n.cfg.Slots > 0 {
@@ -226,59 +283,68 @@ func (s *simulation) scheduleSuperframe(sf int) {
 			if gtsWake < n.busyUntil {
 				gtsWake = n.busyUntil
 			}
-			s.eng.At(gtsWake, func() { s.setRadio(node, StateRamp) })
-			s.eng.At(wStart, func() { s.txWindow(node, wEnd) })
+			s.eng.Schedule(gtsWake, evRadio, ni, float64(StateRamp))
+			s.eng.Schedule(wStart, evTxWindow, ni, wEnd)
 			n.busyUntil = wEnd
 		}
 	}
 
-	s.eng.At(tb, func() { s.beacons++ })
-	s.eng.At(float64(sf+1)*s.bi-s.bi/2, func() { s.scheduleSuperframe(sf + 1) })
+	s.eng.Schedule(tb, evBeaconTick, -1, 0)
+	s.eng.Schedule(float64(sf+1)*s.bi-s.bi/2, evSuperframe, -1, float64(sf+1))
 }
 
-// txWindow drains the node's queue inside its GTS [now, wEnd).
+// txWindow drains the node's queue inside its GTS [now, wEnd). The service
+// sequence — turnaround, transmit, listen for the acknowledgement, IFS —
+// is scheduled as typed events; the in-flight frame stays at the head of
+// the queue until its ack verdict, so evAckDone needs no captured state.
 func (s *simulation) txWindow(n *simNode, wEnd float64) {
 	now := s.eng.Now()
-	if len(n.queue) == 0 {
+	if n.queueLen() == 0 {
 		s.setRadio(n, StateSleep)
 		return
 	}
-	p := n.queue[0]
+	p := n.queueHead()
 	frame := float64(ieee.DataFrameAirTime(p.payloadBytes))
-	service := float64(ieee.Turnaround()) + frame + float64(ieee.AckAirTime()) +
-		float64(ieee.IFS(p.payloadBytes+ieee.MACOverheadBytes))
+	turn := float64(ieee.Turnaround())
+	ack := float64(ieee.AckAirTime())
+	service := turn + frame + ack + float64(ieee.IFS(p.payloadBytes+ieee.MACOverheadBytes))
 	if now+service > wEnd {
 		// Does not fit in the remaining window; resume next
 		// superframe.
 		s.setRadio(n, StateSleep)
 		return
 	}
-	// Turnaround, transmit, listen for the acknowledgement, IFS.
 	s.setRadio(n, StateIdle)
-	s.eng.After(float64(ieee.Turnaround()), func() { s.setRadio(n, StateTx) })
-	s.eng.After(float64(ieee.Turnaround())+frame, func() { s.setRadio(n, StateRx) })
-	ackDone := float64(ieee.Turnaround()) + frame + float64(ieee.AckAirTime())
-	s.eng.After(ackDone, func() {
-		n.extraCycles += s.cfg.PacketProcCycles
-		delivered := s.rng.Float64() >= s.cfg.PacketErrorRate
-		if delivered {
-			n.delays = append(n.delays, s.eng.Now()-p.created)
-			n.packetsSent++
-			n.bytesDelivered += p.payloadBytes
-			n.queue = n.queue[1:]
+	ni := int32(n.idx)
+	s.eng.Schedule(now+turn, evRadio, ni, float64(StateTx))
+	s.eng.Schedule(now+turn+frame, evRadio, ni, float64(StateRx))
+	s.eng.Schedule(now+turn+frame+ack, evAckDone, ni, wEnd)
+}
+
+// ackDone settles the head frame's fate once its acknowledgement window
+// closes, then chains the next service attempt after the interframe space.
+func (s *simulation) ackDone(n *simNode, wEnd float64) {
+	p := n.queueHead()
+	payload := p.payloadBytes
+	n.extraCycles += s.cfg.PacketProcCycles
+	delivered := s.rng.Float64() >= s.cfg.PacketErrorRate
+	if delivered {
+		n.delays = append(n.delays, s.eng.Now()-p.created)
+		n.packetsSent++
+		n.bytesDelivered += payload
+		n.popQueue()
+	} else {
+		p.attempts++
+		if p.attempts > s.cfg.MaxRetries {
+			n.dropped++
+			n.popQueue()
 		} else {
-			p.attempts++
-			if p.attempts > s.cfg.MaxRetries {
-				n.dropped++
-				n.queue = n.queue[1:]
-			} else {
-				n.retries++
-			}
+			n.retries++
 		}
-		s.setRadio(n, StateIdle)
-		ifs := float64(ieee.IFS(p.payloadBytes + ieee.MACOverheadBytes))
-		s.eng.After(ifs, func() { s.txWindow(n, wEnd) })
-	})
+	}
+	s.setRadio(n, StateIdle)
+	ifs := float64(ieee.IFS(payload + ieee.MACOverheadBytes))
+	s.eng.ScheduleAfter(ifs, evTxWindow, int32(n.idx), wEnd)
 }
 
 // collect assembles the result at simulation end.
@@ -287,6 +353,7 @@ func (s *simulation) collect(dur float64) *Result {
 		Duration:    units.Seconds(dur),
 		Nodes:       make([]NodeResult, len(s.nodes)),
 		BeaconsSent: s.beacons,
+		Events:      s.eng.Dispatched(),
 		Stable:      true,
 	}
 	for i, n := range s.nodes {
@@ -314,9 +381,11 @@ func (s *simulation) collect(dur float64) *Result {
 		}
 		acc.Total = acc.Sensor + acc.Micro + acc.Memory + acc.Radio
 
-		stateTime := make(map[RadioState]units.Seconds, len(n.radio.stateTime))
+		stateTime := make(map[RadioState]units.Seconds, numRadioStates)
 		for st, t := range n.radio.stateTime {
-			stateTime[st] = units.Seconds(t)
+			if t != 0 {
+				stateTime[RadioState(st)] = units.Seconds(t)
+			}
 		}
 		nr := NodeResult{
 			Name:           n.cfg.Name,
