@@ -20,10 +20,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"wsndse/internal/casestudy"
@@ -53,6 +56,12 @@ func main() {
 	}
 	stopProfiles = stop
 	defer stop()
+
+	// SIGINT cancels cooperatively: running experiments stop at their next
+	// search boundary, unstarted ones are skipped, and everything finished
+	// is still rendered below — partial results flush instead of vanishing.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	selected := map[string]bool{}
 	if *run == "all" {
@@ -87,28 +96,28 @@ func main() {
 	// co-scheduled with it (which would depress their throughput numbers).
 	var jobs []experiments.Job
 	var exclusive []bool
-	add := func(key, name string, run func() (experiments.Report, error)) {
+	add := func(key, name string, run func(ctx context.Context) (experiments.Report, error)) {
 		if selected[key] {
 			jobs = append(jobs, experiments.Job{Name: name, Run: run})
 			exclusive = append(exclusive, key == "speed")
 		}
 	}
-	add("fig3", "fig3", func() (experiments.Report, error) {
+	add("fig3", "fig3", func(context.Context) (experiments.Report, error) {
 		return experiments.Fig3(experiments.Fig3Config{})
 	})
-	add("fig4", "fig4", func() (experiments.Report, error) {
+	add("fig4", "fig4", func(context.Context) (experiments.Report, error) {
 		return experiments.Fig4(experiments.Fig4Config{})
 	})
-	add("delay", "delay", func() (experiments.Report, error) {
+	add("delay", "delay", func(context.Context) (experiments.Report, error) {
 		return experiments.DelayVal(experiments.DelayValConfig{
 			Runs:        *delayRuns,
 			SimDuration: units.Seconds(*simDur),
 		})
 	})
-	add("speed", "speed", func() (experiments.Report, error) {
+	add("speed", "speed", func(context.Context) (experiments.Report, error) {
 		return experiments.Speed(experiments.SpeedConfig{})
 	})
-	add("fig5", "fig5", func() (experiments.Report, error) {
+	add("fig5", "fig5", func(context.Context) (experiments.Report, error) {
 		return experiments.Fig5(experiments.Fig5Config{
 			PopulationSize: *pop,
 			Generations:    *gen,
@@ -116,14 +125,14 @@ func main() {
 			Workers:        *workers,
 		})
 	})
-	add("ablation", "ablation-theta", func() (experiments.Report, error) {
+	add("ablation", "ablation-theta", func(context.Context) (experiments.Report, error) {
 		return experiments.ThetaAblation(experiments.ThetaAblationConfig{Workers: *workers})
 	})
-	add("ablation", "ablation-arrival", func() (experiments.Report, error) {
+	add("ablation", "ablation-arrival", func(context.Context) (experiments.Report, error) {
 		return experiments.ArrivalAblation(experiments.ArrivalAblationConfig{})
 	})
-	add("scenarios", "scenarios", func() (experiments.Report, error) {
-		return experiments.ScenarioSweep(experiments.ScenarioSweepConfig{Workers: *workers})
+	add("scenarios", "scenarios", func(ctx context.Context) (experiments.Report, error) {
+		return experiments.ScenarioSweepContext(ctx, experiments.ScenarioSweepConfig{Workers: *workers})
 	})
 
 	outs := make([]experiments.Outcome, len(jobs))
@@ -136,13 +145,19 @@ func main() {
 			pool, poolIdx = append(pool, j), append(poolIdx, i)
 		}
 	}
-	for k, out := range experiments.RunJobs(pool, *workers) {
+	for k, out := range experiments.RunJobsContext(ctx, pool, *workers) {
 		outs[poolIdx[k]] = out
 	}
-	for k, out := range experiments.RunJobs(solo, 1) {
+	for k, out := range experiments.RunJobsContext(ctx, solo, 1) {
 		outs[soloIdx[k]] = out
 	}
+	interrupted := false
 	for _, out := range outs {
+		if errors.Is(out.Err, context.Canceled) {
+			fmt.Printf("[%s cancelled by interrupt]\n\n", out.Name)
+			interrupted = true
+			continue
+		}
 		if out.Err != nil {
 			fatalf("%s: %v", out.Name, out.Err)
 		}
@@ -159,6 +174,11 @@ func main() {
 			fmt.Printf("[%s checks passed]\n", out.Name)
 		}
 		fmt.Println()
+	}
+	if interrupted {
+		fmt.Println("interrupted: completed experiments rendered above, the rest were cancelled")
+		stopProfiles()
+		os.Exit(130)
 	}
 }
 

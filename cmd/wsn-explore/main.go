@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +42,7 @@ func main() {
 		iters        = flag.Int("iters", 6000, "MOSA iterations / random-search budget")
 		seed         = flag.Int64("seed", 17, "search seed")
 		workers      = flag.Int("workers", 0, "evaluation workers (<= 0: GOMAXPROCS); fronts are identical at any count")
+		progress     = flag.Bool("progress", false, "print per-generation progress to stderr")
 		csvPath      = flag.String("csv", "", "write the front to this CSV file")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -89,26 +93,43 @@ func main() {
 	fmt.Printf("scenario %s: %d nodes, %.3g configurations, %d objectives, algorithm %s\n",
 		sc.Name, len(sc.Nodes), problem.Space().Size(), eval.NumObjectives(), *algo)
 
+	// SIGINT cancels the search at its next generation/segment boundary;
+	// the partial front accumulated so far is printed (and written to CSV)
+	// instead of being lost.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 	start := time.Now()
+	opts := dse.Options{Context: ctx}
+	if *progress {
+		opts.Progress = func(p dse.Progress) {
+			fmt.Fprintf(os.Stderr, "%s %d/%d: front=%d evaluated=%d (%.3g evals/s)\n",
+				p.Algorithm, p.Step, p.TotalSteps, len(p.Front), p.Evaluated,
+				float64(p.Evaluated)/time.Since(start).Seconds())
+		}
+	}
 	var res *dse.Result
 	switch *algo {
 	case "nsga2":
-		res, err = dse.NSGA2(problem.Space(), eval, dse.NSGA2Config{
+		res, err = dse.NSGA2Opts(problem.Space(), eval, dse.NSGA2Config{
 			PopulationSize: *pop, Generations: *gen, Seed: *seed, Workers: *workers,
-		})
+		}, opts)
 	case "mosa":
-		res, err = dse.MOSA(problem.Space(), eval, dse.MOSAConfig{
+		res, err = dse.MOSAOpts(problem.Space(), eval, dse.MOSAConfig{
 			Iterations: *iters, Seed: *seed, Workers: *workers,
-		})
+		}, opts)
 	case "random":
-		res, err = dse.RandomSearchParallel(problem.Space(), eval, *iters, *seed, *workers)
+		res, err = dse.RandomSearchOpts(problem.Space(), eval, *iters, *seed, *workers, opts)
 	default:
 		err = fmt.Errorf("unknown algorithm %q", *algo)
 	}
-	if err != nil {
+	interrupted := errors.Is(err, context.Canceled) && res != nil
+	if err != nil && !interrupted {
 		fail(err)
 	}
 	wall := time.Since(start)
+	if interrupted {
+		fmt.Println("interrupted: flushing the partial front explored so far")
+	}
 
 	fmt.Printf("evaluated %d distinct configurations (%d infeasible) in %v (%.3g evals/s)\n",
 		res.Evaluated, res.Infeasible, wall.Round(time.Millisecond),

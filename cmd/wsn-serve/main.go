@@ -1,0 +1,85 @@
+// Command wsn-serve runs the exploration service: a JSON-over-HTTP API
+// that schedules design-space exploration jobs over the registered
+// scenarios, streams their progress as server-sent events, checkpoints
+// long runs, and archives finished Pareto fronts in a versioned store.
+//
+// Example:
+//
+//	wsn-serve -addr 127.0.0.1:8080 -jobs 4 -checkpoint-dir /var/lib/wsn
+//
+//	curl -s localhost:8080/v1/scenarios | jq '.[].name'
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,
+//	       "nsga2":{"population_size":32,"generations":40}}'
+//	curl -N localhost:8080/v1/jobs/j1/events
+//	curl -s localhost:8080/v1/jobs/j1/front | jq '.front | length'
+//
+// SIGINT/SIGTERM shut down gracefully: running jobs are cancelled at
+// their next search boundary (flushing checkpoints first) and in-flight
+// HTTP responses are drained before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wsndse/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		jobs          = flag.Int("jobs", 2, "concurrent exploration jobs")
+		queue         = flag.Int("queue", 64, "queued-job limit (submissions beyond it are rejected)")
+		checkpointDir = flag.String("checkpoint-dir", "", "persist job checkpoints to this directory")
+	)
+	flag.Parse()
+
+	m := service.New(service.Config{
+		Workers:       *jobs,
+		QueueLimit:    *queue,
+		CheckpointDir: *checkpointDir,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	// The resolved address line is load-bearing: with -addr :0 it is how
+	// callers (the CI smoke test, scripts) learn the actual port.
+	fmt.Printf("wsn-serve: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: service.NewHandler(m)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("wsn-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "wsn-serve: shutdown:", err)
+		}
+		m.Close()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wsn-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/smoke-front.json from the current run")
+
+// smokeSpec is the job the smoke test (and the CI service-smoke shell job,
+// which must stay in sync — see .github/workflows/ci.yml) submits. The
+// golden file pins the exact front this seed produces.
+const smokeSpec = `{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,
+  "nsga2":{"population_size":16,"generations":12}}`
+
+// TestServeSmoke builds the wsn-serve binary (or uses $WSN_SERVE_BIN),
+// boots it on a random port, submits a small NSGA-II job over plain HTTP,
+// polls it to completion, and diffs the returned front against the golden
+// file — the end-to-end determinism gate for the whole service stack as
+// actually deployed.
+func TestServeSmoke(t *testing.T) {
+	bin := os.Getenv("WSN_SERVE_BIN")
+	if bin == "" {
+		bin = filepath.Join(t.TempDir(), "wsn-serve")
+		build := exec.Command("go", "build", "-o", bin, ".")
+		build.Env = os.Environ()
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building wsn-serve: %v\n%s", err, out)
+		}
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-jobs", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The first stdout line reports the resolved listen address.
+	scanner := bufio.NewScanner(stdout)
+	base := ""
+	for scanner.Scan() {
+		line := scanner.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("wsn-serve never reported its address: %v", scanner.Err())
+	}
+	go func() { // keep the pipe drained
+		for scanner.Scan() {
+		}
+	}()
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(smokeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	decodeBody(t, resp, http.StatusCreated, &job)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, resp, http.StatusOK, &job)
+		if job.Status == "done" {
+			break
+		}
+		if job.Status == "failed" || job.Status == "cancelled" {
+			t.Fatalf("job ended %s", job.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + job.ID + "/front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var front struct {
+		Scenario  string `json:"scenario"`
+		Algorithm string `json:"algorithm"`
+		Seed      int64  `json:"seed"`
+		Front     []struct {
+			Config []int     `json:"config"`
+			Objs   []float64 `json:"objs"`
+		} `json:"front"`
+	}
+	decodeBody(t, resp, http.StatusOK, &front)
+	if len(front.Front) == 0 {
+		t.Fatal("empty front")
+	}
+
+	// Canonicalize (marshal the decoded struct) so formatting differences
+	// never mask or fake a diff.
+	got, err := json.MarshalIndent(front, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "smoke-front.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d front points)", golden, len(front.Front))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./cmd/wsn-serve -run Smoke -update` to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("front differs from golden %s.\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response, wantStatus int, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var raw bytes.Buffer
+		raw.ReadFrom(resp.Body)
+		t.Fatalf("HTTP %d (want %d): %s", resp.StatusCode, wantStatus, raw.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,7 +28,16 @@
 //     comparator, the §4 case study, and one harness per figure/table;
 //   - internal/scenario — the scenario engine: declarative heterogeneous
 //     workloads plus the process-wide registry the CLIs, experiments and
-//     examples select workloads from.
+//     examples select workloads from;
+//   - internal/service — the DSE-as-a-service layer: a job-oriented
+//     exploration runtime (bounded-worker manager, SSE progress streams,
+//     checkpoint/resume, versioned result store) behind a JSON HTTP API
+//     (cmd/wsn-serve) and a Go client.
+//
+// Conceptually the stack is four layers — model → scenario → search →
+// service — each consuming only the one below: the model evaluates
+// configurations, scenarios define spaces of them, searches walk those
+// spaces, and the service schedules many searches for many consumers.
 //
 // # Scenario engine
 //
@@ -107,6 +116,31 @@
 // retains exactly the naive archive's points; AllocsPerRun regression
 // tests pin the generation loop, the annealing chain and the typed event
 // path at 0 allocs/op, and CI runs them uninstrumented in the test matrix.
+//
+// # Exploration service
+//
+// The search layer exposes three cross-cutting run controls through
+// dse.Options, all hooked at generation/segment/batch boundaries so the
+// allocation-free hot loops are untouched: cooperative cancellation
+// (context.Context; SIGINT in the CLIs flushes the partial front),
+// incremental progress (dse.ProgressSink receives step counters and front
+// snapshots), and checkpoint/resume (dse.Snapshot serializes the complete
+// search state — population, archives, chain temperatures, and the RNG,
+// which draws from a SplitMix64 source precisely so its whole state is
+// one uint64). A run resumed from a snapshot replays the uninterrupted
+// trajectory bit for bit.
+//
+// internal/service builds the multi-tenant runtime on those hooks: jobs
+// (scenario × algorithm × seed) validated against the registry, a
+// bounded-worker Manager with queued → running → done/failed/cancelled
+// lifecycles, per-job event hubs streamed as server-sent events, durable
+// snapshot files, and a versioned store of finished fronts queryable by
+// scenario/algorithm. Seeded jobs return bit-identical fronts regardless
+// of service concurrency — jobs share nothing mutable but code paths
+// already proven scheduling-independent. cmd/wsn-serve serves the HTTP
+// API; service.Client consumes it; examples/service walks the flow; and
+// CI's service-smoke job diffs a real submit→poll→front round-trip
+// against a committed golden front.
 //
 // The benchmarks in bench_test.go regenerate every evaluation artifact
 // (including parallel-vs-sequential exploration pairs and the

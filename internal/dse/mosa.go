@@ -13,17 +13,17 @@ import (
 // degenerating into zero-length chains. Seed may be any value — every
 // seed defines a valid deterministic run.
 type MOSAConfig struct {
-	Iterations  int     // total across all chains; default 5000
-	InitialTemp float64 // default 1.0
-	Cooling     float64 // geometric factor per iteration; default 0.999
-	Restarts    int     // independent chains; default 4
-	Seed        int64
+	Iterations  int     `json:"iterations,omitempty"`   // total across all chains; default 5000
+	InitialTemp float64 `json:"initial_temp,omitempty"` // default 1.0
+	Cooling     float64 `json:"cooling,omitempty"`      // geometric factor per iteration; default 0.999
+	Restarts    int     `json:"restarts,omitempty"`     // independent chains; default 4
+	Seed        int64   `json:"seed,omitempty"`
 	// Workers bounds how many chains anneal concurrently; <= 0 selects
 	// GOMAXPROCS. Each chain owns a seed derived deterministically from
 	// (Seed, chain index) and a private guiding archive, so results are
 	// bit-identical at any worker count; the per-chain archives merge
 	// into the returned front in chain order.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 }
 
 // validate rejects out-of-domain values before defaulting.
@@ -36,6 +36,25 @@ func (c MOSAConfig) validate() error {
 	}
 	if c.InitialTemp < 0 {
 		return fmt.Errorf("dse: MOSA initial temperature %g is negative (use 0 for the default)", c.InitialTemp)
+	}
+	return nil
+}
+
+// Validate is the exported domain check, for callers (the exploration
+// service) that want to reject a bad configuration before committing a
+// worker to it. It accepts everything MOSA itself accepts: zero values
+// select defaults, explicit values must be in domain.
+func (c MOSAConfig) Validate() error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if c.Cooling != 0 && (c.Cooling <= 0 || c.Cooling >= 1) {
+		return fmt.Errorf("dse: cooling factor %g must be in (0,1)", c.Cooling)
+	}
+	d := c.withDefaults()
+	if d.Iterations < d.Restarts {
+		return fmt.Errorf("dse: MOSA budget of %d iterations gives the %d chains zero length",
+			d.Iterations, d.Restarts)
 	}
 	return nil
 }
@@ -66,6 +85,13 @@ func chainSeed(seed int64, ch int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// mosaSegment is the chain-boundary granularity: every chain advances this
+// many iterations between synchronization points, where Options hooks
+// (progress, checkpoint, cancellation) run. Results are independent of the
+// segmentation — chains are deterministic walks whose state carries across
+// segments — so the constant trades hook latency against barrier overhead.
+const mosaSegment = 256
+
 // MOSA runs archive-based multi-objective simulated annealing in the
 // spirit of Nam & Park [27]: a random walk over single-gene neighbours
 // whose acceptance energy is the fraction of the chain's archive that
@@ -78,6 +104,16 @@ func chainSeed(seed int64, ch int) int64 {
 // quality with genetic algorithms and simulated annealing (§5.2); MOSA is
 // here so that claim can be checked.
 func MOSA(space *Space, eval Evaluator, cfg MOSAConfig) (*Result, error) {
+	return MOSAOpts(space, eval, cfg, Options{})
+}
+
+// MOSAOpts is MOSA under run Options. The chains advance in lock-stepped
+// segments of mosaSegment iterations; between segments — never inside a
+// chain's allocation-free iteration loop — the run emits progress, writes
+// due checkpoints and honors cancellation. On cancellation the partial
+// Result (the merge of every chain's archive so far) is returned together
+// with ctx.Err().
+func MOSAOpts(space *Space, eval Evaluator, cfg MOSAConfig, opts Options) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -94,59 +130,174 @@ func MOSA(space *Space, eval Evaluator, cfg MOSAConfig) (*Result, error) {
 	}
 	pe := NewParallelEvaluator(eval, cfg.Workers)
 
-	chainArchives := make([]Archive, cfg.Restarts)
-	ForEachWorker(cfg.Restarts, pe.Workers(), func(w, ch int) {
-		annealChain(space, pe, w, cfg, ch, &chainArchives[ch])
-	})
-
-	var arch Archive
-	for i := range chainArchives {
-		for _, p := range chainArchives[i].Points() {
-			arch.Add(p)
+	perChain := cfg.Iterations / cfg.Restarts
+	segments := (perChain + mosaSegment - 1) / mosaSegment
+	chains := make([]*mosaChain, cfg.Restarts)
+	startSeg := 0
+	var baseEval, baseInf int
+	if opts.Resume != nil {
+		if err := restoreChains(opts.Resume, space, cfg, pe, chains); err != nil {
+			return nil, err
+		}
+		if opts.Resume.Step > segments {
+			return nil, fmt.Errorf("dse: snapshot at segment %d is past the configured %d (budget %d iterations over %d chains)",
+				opts.Resume.Step, segments, cfg.Iterations, cfg.Restarts)
+		}
+		startSeg = opts.Resume.Step
+		baseEval, baseInf = opts.Resume.Evaluated, opts.Resume.Infeasible
+	} else {
+		for ch := range chains {
+			chains[ch] = newMOSAChain(space, cfg, ch)
 		}
 	}
-	evaluated, infeasible := pe.Stats()
-	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
-}
 
-// annealChain runs one independent annealing chain into arch, evaluating
-// on worker w's private evaluator instance. The chain owns a single gene
-// buffer for its candidate moves: the memo cache clones configurations it
-// keeps, so a steady-state iteration (cache hit, archive unchanged)
-// performs zero heap allocations.
-func annealChain(space *Space, pe *ParallelEvaluator, w int, cfg MOSAConfig, ch int, arch *Archive) {
-	rng := rand.New(rand.NewSource(chainSeed(cfg.Seed, ch)))
-
-	energy := func(p Point) float64 {
-		if !p.Feasible {
-			return 2 // worse than any feasible energy
-		}
-		if arch.Len() == 0 {
-			return 0
-		}
-		dominated := 0
-		for _, q := range arch.Points() {
-			if Dominates(q.Objs, p.Objs) {
-				dominated++
+	merged := func() *Archive {
+		var arch Archive
+		for _, c := range chains {
+			for _, p := range c.arch.Points() {
+				arch.Add(p)
 			}
 		}
-		return float64(dominated) / float64(arch.Len())
+		return &arch
 	}
-
-	buf := make(Config, len(space.Params))
-	space.RandomInto(rng, buf)
-	cur := pe.evalFor(w, buf)
-	arch.Add(cur)
-	curE := energy(cur)
-	temp := cfg.InitialTemp
-	for it := 0; it < cfg.Iterations/cfg.Restarts; it++ {
-		space.NeighborInto(rng, buf, cur.Config)
-		cand := pe.evalFor(w, buf)
-		arch.Add(cand)
-		candE := energy(cand)
-		if candE <= curE || rng.Float64() < math.Exp(-(candE-curE)/temp) {
-			cur, curE = cand, candE
+	result := func() *Result {
+		evaluated, infeasible := pe.Stats()
+		return &Result{Front: merged().Points(), Evaluated: baseEval + evaluated, Infeasible: baseInf + infeasible}
+	}
+	for seg := startSeg; seg < segments; seg++ {
+		upTo := (seg + 1) * mosaSegment
+		if upTo > perChain {
+			upTo = perChain
 		}
-		temp *= cfg.Cooling
+		ForEachWorker(cfg.Restarts, pe.Workers(), func(w, ch int) {
+			chains[ch].run(space, pe, w, upTo)
+		})
+		evaluated, infeasible := pe.Stats()
+		err := opts.boundary("mosa", seg+1, segments, baseEval+evaluated, baseInf+infeasible,
+			func() []Point { return frontCopy(merged()) },
+			func() *Snapshot { return snapChains(seg+1, chains, baseEval+evaluated, baseInf+infeasible) })
+		if err != nil {
+			return result(), err
+		}
 	}
+	return result(), nil
+}
+
+// mosaChain is one independent annealing chain: a private RNG, the current
+// point and its energy, the temperature, the guiding archive, and a single
+// gene buffer for candidate moves. The memo cache clones configurations it
+// keeps, so a steady-state iteration (cache hit, archive unchanged)
+// performs zero heap allocations.
+type mosaChain struct {
+	rng     *rand.Rand
+	src     *splitMix64
+	cfg     MOSAConfig
+	buf     Config
+	cur     Point
+	curE    float64
+	temp    float64
+	iter    int // iterations completed
+	started bool
+	arch    Archive
+}
+
+func newMOSAChain(space *Space, cfg MOSAConfig, ch int) *mosaChain {
+	c := &mosaChain{cfg: cfg, buf: make(Config, len(space.Params)), temp: cfg.InitialTemp}
+	c.rng, c.src = newSearchRand(chainSeed(cfg.Seed, ch))
+	return c
+}
+
+// energy is the acceptance energy of a candidate: the fraction of the
+// chain's archive that dominates it (2 for infeasible points, worse than
+// any feasible energy).
+func (c *mosaChain) energy(p Point) float64 {
+	if !p.Feasible {
+		return 2
+	}
+	if c.arch.Len() == 0 {
+		return 0
+	}
+	dominated := 0
+	for _, q := range c.arch.Points() {
+		if Dominates(q.Objs, p.Objs) {
+			dominated++
+		}
+	}
+	return float64(dominated) / float64(c.arch.Len())
+}
+
+// run advances the chain until upTo iterations are complete, evaluating on
+// worker w's private evaluator instance. The first call draws and
+// evaluates the chain's starting point; state carries across calls, so
+// segmented execution walks the identical trajectory an unsegmented run
+// would.
+func (c *mosaChain) run(space *Space, pe *ParallelEvaluator, w, upTo int) {
+	if !c.started {
+		space.RandomInto(c.rng, c.buf)
+		c.cur = pe.evalFor(w, c.buf)
+		c.arch.Add(c.cur)
+		c.curE = c.energy(c.cur)
+		c.started = true
+	}
+	for ; c.iter < upTo; c.iter++ {
+		space.NeighborInto(c.rng, c.buf, c.cur.Config)
+		cand := pe.evalFor(w, c.buf)
+		c.arch.Add(cand)
+		candE := c.energy(cand)
+		if candE <= c.curE || c.rng.Float64() < math.Exp(-(candE-c.curE)/c.temp) {
+			c.cur, c.curE = cand, candE
+		}
+		c.temp *= c.cfg.Cooling
+	}
+}
+
+// snapChains captures every chain's state at a segment boundary.
+func snapChains(step int, chains []*mosaChain, evaluated, infeasible int) *Snapshot {
+	snap := &Snapshot{
+		Version:    SnapshotVersion,
+		Algorithm:  "mosa",
+		Step:       step,
+		Chains:     make([]ChainSnap, len(chains)),
+		Evaluated:  evaluated,
+		Infeasible: infeasible,
+	}
+	for i, c := range chains {
+		snap.Chains[i] = ChainSnap{
+			RNG:     c.src.state,
+			Cur:     snapPoint(c.cur),
+			CurE:    c.curE,
+			Temp:    c.temp,
+			Iter:    c.iter,
+			Archive: snapPoints(c.arch.Points()),
+		}
+	}
+	return snap
+}
+
+// restoreChains rebuilds the chains from a snapshot and primes the memo
+// cache with every archived point.
+func restoreChains(snap *Snapshot, space *Space, cfg MOSAConfig, pe *ParallelEvaluator, chains []*mosaChain) error {
+	if err := snap.validateResume("mosa", space); err != nil {
+		return err
+	}
+	if len(snap.Chains) != len(chains) {
+		return fmt.Errorf("dse: snapshot has %d chains, configuration wants %d", len(snap.Chains), len(chains))
+	}
+	for i := range chains {
+		cs := snap.Chains[i]
+		c := newMOSAChain(space, cfg, i)
+		c.src.state = cs.RNG
+		c.cur = cs.Cur.point()
+		c.curE = cs.CurE
+		c.temp = cs.Temp
+		c.iter = cs.Iter
+		c.started = true
+		restoreArchive(&c.arch, cs.Archive)
+		pe.prime(c.cur)
+		for _, p := range c.arch.Points() {
+			pe.prime(p)
+		}
+		chains[i] = c
+	}
+	return nil
 }

@@ -12,17 +12,17 @@ import (
 // than silently degenerating the search. Seed may be any value — every
 // seed defines a valid deterministic run.
 type NSGA2Config struct {
-	PopulationSize int     // default 64; must be even and ≥ 4
-	Generations    int     // default 50
-	CrossoverProb  float64 // default 0.9
-	MutationProb   float64 // per gene; default 1/len(genes)
-	Seed           int64
+	PopulationSize int     `json:"population_size,omitempty"` // default 64; must be even and ≥ 4
+	Generations    int     `json:"generations,omitempty"`     // default 50
+	CrossoverProb  float64 `json:"crossover_prob,omitempty"`  // default 0.9
+	MutationProb   float64 `json:"mutation_prob,omitempty"`   // per gene; default 1/len(genes)
+	Seed           int64   `json:"seed,omitempty"`
 	// Workers bounds the evaluation pool each generation's offspring
 	// batch fans out over; <= 0 selects GOMAXPROCS. Results are
 	// bit-identical at any worker count: variation is driven by a single
 	// seeded RNG stream independent of evaluation scheduling, and points
 	// enter the archive in offspring order.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 }
 
 // validate rejects out-of-domain values before defaulting.
@@ -38,6 +38,20 @@ func (c NSGA2Config) validate() error {
 	}
 	if c.MutationProb < 0 || c.MutationProb > 1 {
 		return fmt.Errorf("dse: NSGA-II mutation probability %g out of [0,1]", c.MutationProb)
+	}
+	return nil
+}
+
+// Validate is the exported domain check, for callers (the exploration
+// service) that want to reject a bad configuration before committing a
+// worker to it. It accepts everything NSGA2 itself accepts: zero values
+// select defaults, and an explicit population size must be even and ≥ 4.
+func (c NSGA2Config) Validate() error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if c.PopulationSize != 0 && (c.PopulationSize < 4 || c.PopulationSize%2 != 0) {
+		return fmt.Errorf("dse: population size %d must be even and ≥ 4", c.PopulationSize)
 	}
 	return nil
 }
@@ -74,6 +88,15 @@ func (c NSGA2Config) withDefaults(genes int) NSGA2Config {
 // zero heap allocations (TestNSGA2GenerationSteadyStateZeroAllocs pins
 // this).
 func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
+	return NSGA2Opts(space, eval, cfg, Options{})
+}
+
+// NSGA2Opts is NSGA2 under run Options: cancellation, progress and
+// checkpointing hook in at generation boundaries only, so the
+// allocation-free generation loop is untouched (a run with zero Options is
+// bit-identical to NSGA2). On cancellation the partial Result — the front
+// over everything evaluated so far — is returned together with ctx.Err().
+func NSGA2Opts(space *Space, eval Evaluator, cfg NSGA2Config, opts Options) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,17 +107,90 @@ func NSGA2(space *Space, eval Evaluator, cfg NSGA2Config) (*Result, error) {
 	if cfg.PopulationSize < 4 || cfg.PopulationSize%2 != 0 {
 		return nil, fmt.Errorf("dse: population size %d must be even and ≥ 4", cfg.PopulationSize)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng, src := newSearchRand(cfg.Seed)
 	pe := NewParallelEvaluator(eval, cfg.Workers)
 	var arch Archive
 
 	r := newNSGA2Run(space, pe, cfg)
-	r.seed(rng, &arch)
-	for gen := 0; gen < cfg.Generations; gen++ {
-		r.generation(rng, &arch)
+	startGen := 0
+	var baseEval, baseInf int
+	if opts.Resume != nil {
+		if err := r.restore(opts.Resume, space, src, pe, &arch); err != nil {
+			return nil, err
+		}
+		startGen = opts.Resume.Step
+		// Primed cache entries never touch the Stats counters, so the
+		// resumed run's totals are snapshot counts plus fresh evaluations.
+		baseEval, baseInf = opts.Resume.Evaluated, opts.Resume.Infeasible
+	} else {
+		r.seed(rng, &arch)
 	}
-	evaluated, infeasible := pe.Stats()
-	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
+	result := func() *Result {
+		evaluated, infeasible := pe.Stats()
+		return &Result{Front: arch.Points(), Evaluated: baseEval + evaluated, Infeasible: baseInf + infeasible}
+	}
+	for gen := startGen; gen < cfg.Generations; gen++ {
+		r.generation(rng, &arch)
+		evaluated, infeasible := pe.Stats()
+		err := opts.boundary("nsga2", gen+1, cfg.Generations, baseEval+evaluated, baseInf+infeasible,
+			func() []Point { return frontCopy(&arch) },
+			func() *Snapshot { return r.snapshot(gen+1, src, &arch, baseEval+evaluated, baseInf+infeasible) })
+		if err != nil {
+			return result(), err
+		}
+	}
+	return result(), nil
+}
+
+// snapshot captures the run at a generation boundary: the survivors with
+// their carried union ranking, the archive, and the RNG state. Everything
+// is deep-copied — the run keeps recycling its buffers after the call.
+func (r *nsga2Run) snapshot(step int, src *splitMix64, arch *Archive, evaluated, infeasible int) *Snapshot {
+	n := r.cfg.PopulationSize
+	return &Snapshot{
+		Version:    SnapshotVersion,
+		Algorithm:  "nsga2",
+		Step:       step,
+		RNG:        src.state,
+		Population: snapPoints(r.pop),
+		Ranks:      append([]int(nil), r.ranks[:n]...),
+		Crowd:      append(InfFloats(nil), r.crowd[:n]...),
+		Archive:    snapPoints(arch.Points()),
+		Evaluated:  evaluated,
+		Infeasible: infeasible,
+	}
+}
+
+// restore rebuilds the run from a snapshot: population, carried ranking,
+// archive and RNG state come back bit-exactly, and the snapshot's points
+// prime the memo cache so re-visited configurations are cache hits rather
+// than re-evaluations.
+func (r *nsga2Run) restore(snap *Snapshot, space *Space, src *splitMix64, pe *ParallelEvaluator, arch *Archive) error {
+	if err := snap.validateResume("nsga2", space); err != nil {
+		return err
+	}
+	n := r.cfg.PopulationSize
+	if len(snap.Population) != n {
+		return fmt.Errorf("dse: snapshot population %d does not match configured size %d", len(snap.Population), n)
+	}
+	if len(snap.Ranks) != n || len(snap.Crowd) != n {
+		return fmt.Errorf("dse: snapshot ranking covers %d/%d points", len(snap.Ranks), n)
+	}
+	if snap.Step > r.cfg.Generations {
+		return fmt.Errorf("dse: snapshot at generation %d is past the configured %d", snap.Step, r.cfg.Generations)
+	}
+	r.pop = append(r.pop[:0], restorePoints(snap.Population)...)
+	copy(r.ranks, snap.Ranks)
+	copy(r.crowd, snap.Crowd)
+	restoreArchive(arch, snap.Archive)
+	for _, p := range r.pop {
+		pe.prime(p)
+	}
+	for _, p := range arch.Points() {
+		pe.prime(p)
+	}
+	src.state = snap.RNG
+	return nil
 }
 
 // nsga2Run owns every buffer of the generation loop, pre-sized so the

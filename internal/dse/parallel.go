@@ -146,6 +146,32 @@ func (pe *ParallelEvaluator) evalOn(inner Evaluator, c Config) Point {
 	return e.p
 }
 
+// prime inserts an already-evaluated point into the memo cache without
+// touching the Stats counters — how resumed searches rehydrate the results
+// a snapshot carries, so re-drawn configurations are cache hits instead of
+// re-evaluations. A configuration already cached is left as-is.
+func (pe *ParallelEvaluator) prime(p Point) {
+	h := p.Config.Hash()
+	sh := &pe.shards[h%memoShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	head := sh.entries[h]
+	for e := head; e != nil; e = e.next {
+		if e.cfg.Equal(p.Config) {
+			return
+		}
+	}
+	done := make(chan struct{})
+	close(done)
+	cfg := p.Config.Clone()
+	sh.entries[h] = &memoEntry{
+		cfg:  cfg,
+		next: head,
+		done: done,
+		p:    Point{Config: cfg, Objs: append(Objectives(nil), p.Objs...), Feasible: p.Feasible},
+	}
+}
+
 // evaluate dispatches to the scratch-reuse API when inner provides one.
 // The Objectives buffer it fills is the one stored in the cache entry, so
 // the compiled path's only per-miss allocations are the entry and that

@@ -1,0 +1,39 @@
+package dse
+
+import "math/rand"
+
+// splitMix64 is the search RNG source: Steele et al.'s SplitMix64,
+// implementing rand.Source64. Every search algorithm in this package draws
+// through it (wrapped in a math/rand.Rand for the Intn/Float64 adapters),
+// which buys the property checkpoint/resume is built on: the complete RNG
+// state of a run is a single uint64, capturable at any generation or chain
+// boundary and restorable bit-exactly. math/rand's own rngSource keeps a
+// 607-word internal table with no state accessors, so it cannot be
+// snapshotted without reflection.
+//
+// rand.Rand's derived draws (Intn, Float64, ...) are pure functions of the
+// source stream, so restoring the source state reproduces the exact draw
+// sequence — there is no hidden buffering on the paths the searches use.
+type splitMix64 struct{ state uint64 }
+
+// Seed implements rand.Source.
+func (s *splitMix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Int63 implements rand.Source.
+func (s *splitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Uint64 implements rand.Source64: one SplitMix64 step.
+func (s *splitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// newSearchRand returns the seeded search RNG plus its source, whose state
+// field is what snapshots capture and restores rewrite.
+func newSearchRand(seed int64) (*rand.Rand, *splitMix64) {
+	src := &splitMix64{state: uint64(seed)}
+	return rand.New(src), src
+}

@@ -1,0 +1,101 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+)
+
+// Progress is one search-boundary snapshot, delivered to a ProgressSink.
+// The unit of Step depends on the algorithm: NSGA-II counts completed
+// generations, MOSA completed chain segments, Exhaustive and RandomSearch
+// completed evaluation batches. Front is a fresh slice whose Points share
+// the run's immutable Config/Objs storage — safe to read from any
+// goroutine, not to mutate.
+type Progress struct {
+	Algorithm  string
+	Step       int // boundaries completed so far
+	TotalSteps int // boundaries the full run will reach
+	Evaluated  int // distinct configurations evaluated so far
+	Infeasible int // of those, constraint violations
+	Front      []Point
+}
+
+// ProgressSink receives Progress snapshots at search boundaries. Sinks run
+// synchronously on the search goroutine between generations/segments —
+// never inside the allocation-free hot loops — so a slow sink slows the
+// search but cannot corrupt it. A nil sink costs nothing.
+type ProgressSink func(Progress)
+
+// CheckpointFunc persists one Snapshot. A non-nil error aborts the run:
+// the search returns its partial result alongside the error, on the theory
+// that a service that cannot persist checkpoints should not silently keep
+// burning the evaluation budget it promised to make resumable.
+type CheckpointFunc func(*Snapshot) error
+
+// Options carries the cross-cutting run controls shared by every search
+// algorithm: cooperative cancellation, incremental progress, and
+// checkpoint/resume. The zero value is a plain run-to-completion search,
+// bit-identical to the option-free entry points.
+type Options struct {
+	// Context cancels the run cooperatively: the search checks it at
+	// generation/segment/batch boundaries and, once cancelled, returns the
+	// partial Result accumulated so far together with ctx.Err(). Nil means
+	// never cancelled.
+	Context context.Context
+
+	// Progress, when non-nil, is invoked at every boundary.
+	Progress ProgressSink
+
+	// Checkpoint, when non-nil and CheckpointEvery > 0, is invoked with a
+	// self-contained Snapshot every CheckpointEvery boundaries (and never
+	// at the final one, where the Result itself is the better artifact).
+	Checkpoint      CheckpointFunc
+	CheckpointEvery int
+
+	// Resume restarts a run from a Snapshot previously produced by the
+	// same algorithm over the same space and configuration. The resumed
+	// run replays the exact trajectory of the uninterrupted one: RNG state
+	// is restored bit-for-bit and the population/archive/chain state picks
+	// up where the snapshot left off, so the final front is bit-identical
+	// to a never-interrupted run with the same seed. Result.Evaluated
+	// counts snapshot evaluations plus distinct post-resume evaluations;
+	// configurations that were evaluated before the checkpoint but kept in
+	// neither population nor archive may be re-evaluated (and re-counted)
+	// after resume, so the count is an upper bound on distinct points.
+	Resume *Snapshot
+}
+
+// boundary is the shared per-boundary bookkeeping: emit progress, write a
+// due checkpoint, then honor cancellation — in that order, so a cancelled
+// run's latest checkpoint is already durable when the partial result comes
+// back. step is 1-based (boundaries completed); snap builds the snapshot
+// lazily and only when one is due.
+func (o Options) boundary(algo string, step, total, evaluated, infeasible int, front func() []Point, snap func() *Snapshot) error {
+	if o.Progress != nil {
+		o.Progress(Progress{
+			Algorithm:  algo,
+			Step:       step,
+			TotalSteps: total,
+			Evaluated:  evaluated,
+			Infeasible: infeasible,
+			Front:      front(),
+		})
+	}
+	if o.Checkpoint != nil && o.CheckpointEvery > 0 && step < total && step%o.CheckpointEvery == 0 {
+		if err := o.Checkpoint(snap()); err != nil {
+			return fmt.Errorf("dse: checkpoint at step %d: %w", step, err)
+		}
+	}
+	if o.Context != nil {
+		if err := o.Context.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frontCopy returns a fresh slice over the archive's points, the form
+// Progress hands to sinks.
+func frontCopy(arch *Archive) []Point {
+	return append([]Point(nil), arch.Points()...)
+}

@@ -2,7 +2,6 @@ package dse
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // Result is the outcome of a search: the non-dominated front over every
@@ -30,6 +29,16 @@ func Exhaustive(space *Space, eval Evaluator, maxPoints int) (*Result, error) {
 // Enumeration order, the resulting front, and the counts are identical at
 // any worker count.
 func ExhaustiveParallel(space *Space, eval Evaluator, maxPoints, workers int) (*Result, error) {
+	return ExhaustiveOpts(space, eval, maxPoints, workers, Options{})
+}
+
+// ExhaustiveOpts is ExhaustiveParallel under run Options: progress,
+// checkpointing and cancellation hook in at batch boundaries (every
+// exhaustiveBatch configurations). Snapshots record how far the
+// lexicographic enumeration got (Snapshot.Next), so a resumed sweep skips
+// exactly the consumed prefix. On cancellation the partial Result is
+// returned together with ctx.Err().
+func ExhaustiveOpts(space *Space, eval Evaluator, maxPoints, workers int, opts Options) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,23 +47,66 @@ func ExhaustiveParallel(space *Space, eval Evaluator, maxPoints, workers int) (*
 	}
 	pe := NewParallelEvaluator(eval, workers)
 	var arch Archive
+	total := int(space.Size())
+	totalBatches := (total + exhaustiveBatch - 1) / exhaustiveBatch
+	skip := 0
+	var baseEval, baseInf int
+	if opts.Resume != nil {
+		if err := opts.Resume.validateResume("exhaustive", space); err != nil {
+			return nil, err
+		}
+		if opts.Resume.Next > total {
+			return nil, fmt.Errorf("dse: snapshot consumed %d of %d points", opts.Resume.Next, total)
+		}
+		skip = opts.Resume.Next
+		baseEval, baseInf = opts.Resume.Evaluated, opts.Resume.Infeasible
+		restoreArchive(&arch, opts.Resume.Archive)
+		for _, p := range arch.Points() {
+			pe.prime(p)
+		}
+	}
+	result := func() *Result {
+		evaluated, infeasible := pe.Stats()
+		return &Result{Front: arch.Points(), Evaluated: baseEval + evaluated, Infeasible: baseInf + infeasible}
+	}
 	batch := make([]Config, 0, exhaustiveBatch)
 	flush := func() {
-		for _, p := range pe.EvaluateBatch(batch) {
+		for _, p := range pe.EvaluateBatchInto(batch, nil) {
 			arch.Add(p)
 		}
 		batch = batch[:0]
 	}
+	idx := 0
+	var stopErr error
 	space.Iterate(func(c Config) bool {
+		if idx < skip {
+			idx++
+			return true
+		}
+		idx++
 		batch = append(batch, c.Clone())
 		if len(batch) == exhaustiveBatch {
 			flush()
+			step := idx / exhaustiveBatch
+			evaluated, infeasible := pe.Stats()
+			consumed := idx
+			stopErr = opts.boundary("exhaustive", step, totalBatches, baseEval+evaluated, baseInf+infeasible,
+				func() []Point { return frontCopy(&arch) },
+				func() *Snapshot {
+					return &Snapshot{
+						Version: SnapshotVersion, Algorithm: "exhaustive", Step: step, Next: consumed,
+						Archive: snapPoints(arch.Points()), Evaluated: baseEval + evaluated, Infeasible: baseInf + infeasible,
+					}
+				})
+			return stopErr == nil
 		}
 		return true
 	})
+	if stopErr != nil {
+		return result(), stopErr
+	}
 	flush()
-	evaluated, infeasible := pe.Stats()
-	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
+	return result(), nil
 }
 
 // RandomSearch evaluates `budget` uniform random configurations on a single
@@ -63,28 +115,82 @@ func RandomSearch(space *Space, eval Evaluator, budget int, seed int64) (*Result
 	return RandomSearchParallel(space, eval, budget, seed, 1)
 }
 
-// RandomSearchParallel draws the whole budget from one seeded stream, then
-// evaluates it as a single batch across the worker pool (workers <= 0
-// selects GOMAXPROCS). The draw sequence, front, and counts are identical
-// at any worker count; revisited configurations are deduplicated by the
-// memo cache so Evaluated means distinct points.
+// RandomSearchParallel draws the budget from one seeded stream in batches
+// of exhaustiveBatch and evaluates each batch across the worker pool
+// (workers <= 0 selects GOMAXPROCS). The draw sequence, front, and counts
+// are identical at any worker count; revisited configurations are
+// deduplicated by the memo cache so Evaluated means distinct points.
 func RandomSearchParallel(space *Space, eval Evaluator, budget int, seed int64, workers int) (*Result, error) {
+	return RandomSearchOpts(space, eval, budget, seed, workers, Options{})
+}
+
+// RandomSearchOpts is RandomSearchParallel under run Options: progress,
+// checkpointing and cancellation hook in at batch boundaries. Snapshots
+// record the RNG state and draws consumed, so a resumed search continues
+// the identical draw stream. On cancellation the partial Result is
+// returned together with ctx.Err().
+func RandomSearchOpts(space *Space, eval Evaluator, budget int, seed int64, workers int, opts Options) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
 	if budget < 1 {
 		return nil, fmt.Errorf("dse: budget %d must be positive", budget)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	configs := make([]Config, budget)
-	for i := range configs {
-		configs[i] = space.Random(rng)
-	}
+	rng, src := newSearchRand(seed)
 	pe := NewParallelEvaluator(eval, workers)
 	var arch Archive
-	for _, p := range pe.EvaluateBatch(configs) {
-		arch.Add(p)
+	drawn := 0
+	var baseEval, baseInf int
+	if opts.Resume != nil {
+		if err := opts.Resume.validateResume("random", space); err != nil {
+			return nil, err
+		}
+		if opts.Resume.Next > budget {
+			return nil, fmt.Errorf("dse: snapshot consumed %d of %d draws", opts.Resume.Next, budget)
+		}
+		drawn = opts.Resume.Next
+		baseEval, baseInf = opts.Resume.Evaluated, opts.Resume.Infeasible
+		restoreArchive(&arch, opts.Resume.Archive)
+		for _, p := range arch.Points() {
+			pe.prime(p)
+		}
+		src.state = opts.Resume.RNG
 	}
-	evaluated, infeasible := pe.Stats()
-	return &Result{Front: arch.Points(), Evaluated: evaluated, Infeasible: infeasible}, nil
+	result := func() *Result {
+		evaluated, infeasible := pe.Stats()
+		return &Result{Front: arch.Points(), Evaluated: baseEval + evaluated, Infeasible: baseInf + infeasible}
+	}
+	totalBatches := (budget + exhaustiveBatch - 1) / exhaustiveBatch
+	configs := make([]Config, 0, exhaustiveBatch)
+	var points []Point
+	for drawn < budget {
+		n := exhaustiveBatch
+		if budget-drawn < n {
+			n = budget - drawn
+		}
+		configs = configs[:0]
+		for i := 0; i < n; i++ {
+			configs = append(configs, space.Random(rng))
+		}
+		drawn += n
+		points = pe.EvaluateBatchInto(configs, points)
+		for _, p := range points {
+			arch.Add(p)
+		}
+		step := (drawn + exhaustiveBatch - 1) / exhaustiveBatch
+		evaluated, infeasible := pe.Stats()
+		consumed := drawn
+		err := opts.boundary("random", step, totalBatches, baseEval+evaluated, baseInf+infeasible,
+			func() []Point { return frontCopy(&arch) },
+			func() *Snapshot {
+				return &Snapshot{
+					Version: SnapshotVersion, Algorithm: "random", Step: step, RNG: src.state, Next: consumed,
+					Archive: snapPoints(arch.Points()), Evaluated: baseEval + evaluated, Infeasible: baseInf + infeasible,
+				}
+			})
+		if err != nil {
+			return result(), err
+		}
+	}
+	return result(), nil
 }

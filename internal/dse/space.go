@@ -31,6 +31,21 @@
 // batches in enumeration/draw order. Archive merging is additionally
 // order-independent at the objective level: the set of non-dominated
 // objective vectors does not depend on insertion order.
+//
+// # Run options: cancellation, progress, checkpoint/resume
+//
+// Every algorithm has an Opts variant (NSGA2Opts, MOSAOpts,
+// ExhaustiveOpts, RandomSearchOpts) taking an Options value whose hooks
+// run at boundaries only — the end of a generation (NSGA-II), a chain
+// segment (MOSA) or an evaluation batch (exhaustive/random) — so the
+// allocation-free hot loops never see them and a zero Options run is
+// bit-identical to the plain entry point. Cancellation returns the
+// partial Result alongside ctx.Err(); ProgressSink receives step counters
+// and front snapshots; CheckpointFunc receives self-contained, JSON-
+// serializable Snapshots. The search RNG draws from a SplitMix64
+// rand.Source64 so its complete state is a single uint64, which is what
+// makes a resumed run (Options.Resume) replay the uninterrupted
+// trajectory bit for bit.
 package dse
 
 import (

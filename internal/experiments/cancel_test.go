@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunJobsContextCancellation checks the partial-flush contract: jobs
+// finished before cancellation keep their reports, jobs never started
+// carry the context error, and nothing is silently dropped.
+func TestRunJobsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	const n = 6
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: string(rune('a' + i)),
+			Run: func(context.Context) (Report, error) {
+				// The first job cancels the run; on one worker every later
+				// job must then be skipped.
+				if started.Add(1) == 1 {
+					cancel()
+				}
+				return stubReport{id: i}, nil
+			},
+		}
+	}
+	outs := RunJobsContext(ctx, jobs, 1)
+	if len(outs) != n {
+		t.Fatalf("%d outcomes, want %d", len(outs), n)
+	}
+	if outs[0].Err != nil || outs[0].Report == nil {
+		t.Fatalf("first job should have completed: %+v", outs[0])
+	}
+	for i := 1; i < n; i++ {
+		if !errors.Is(outs[i].Err, context.Canceled) {
+			t.Fatalf("job %d: err %v, want context.Canceled", i, outs[i].Err)
+		}
+		if outs[i].Report != nil {
+			t.Fatalf("job %d has a report despite being skipped", i)
+		}
+	}
+	if got := started.Load(); got != 1 {
+		t.Fatalf("%d jobs started, want 1", got)
+	}
+}
+
+// TestScenarioSweepContextCancelled checks the sweep surfaces
+// cancellation rather than returning a half-empty result as success.
+func TestScenarioSweepContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ScenarioSweepContext(ctx, ScenarioSweepConfig{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

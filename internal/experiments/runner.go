@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"wsndse/internal/dse"
@@ -16,14 +17,18 @@ type Report interface {
 // Job is one experiment harness, deferred so the runner controls when (and
 // on which goroutine) it executes. Run must be self-contained: the
 // harnesses in this package are pure functions of their configs, so any
-// subset can execute concurrently.
+// subset can execute concurrently. The context is the runner's
+// cancellation signal; harnesses that drive long searches should thread it
+// into dse.Options, and short harnesses may ignore it (the runner then
+// cancels at job granularity: started jobs finish, unstarted jobs are
+// skipped).
 type Job struct {
 	Name string
-	Run  func() (Report, error)
+	Run  func(ctx context.Context) (Report, error)
 }
 
 // Outcome pairs a job with its result. Exactly one of Report and Err is
-// set.
+// set; a job skipped by cancellation carries the context's error.
 type Outcome struct {
 	Name   string
 	Report Report
@@ -43,9 +48,23 @@ type Outcome struct {
 // those in their own RunJobs call (as cmd/wsn-experiments does) when the
 // absolute throughput number matters.
 func RunJobs(jobs []Job, workers int) []Outcome {
+	return RunJobsContext(context.Background(), jobs, workers)
+}
+
+// RunJobsContext is RunJobs under a cancellation context. A job that has
+// not started when ctx is cancelled is skipped and its Outcome carries
+// ctx.Err(); jobs already running receive the context and finish on their
+// own terms (immediately, for harnesses that thread it into their search
+// loops). Completed outcomes are always returned — cancellation flushes
+// partial results, it never discards them.
+func RunJobsContext(ctx context.Context, jobs []Job, workers int) []Outcome {
 	outs := make([]Outcome, len(jobs))
 	dse.ForEach(len(jobs), workers, func(i int) {
-		r, err := jobs[i].Run()
+		if err := ctx.Err(); err != nil {
+			outs[i] = Outcome{Name: jobs[i].Name, Err: err}
+			return
+		}
+		r, err := jobs[i].Run(ctx)
 		outs[i] = Outcome{Name: jobs[i].Name, Report: r, Err: err}
 	})
 	return outs

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -25,7 +26,7 @@ func TestRunJobsDeterministicOrder(t *testing.T) {
 		i := i
 		jobs[i] = Job{
 			Name: fmt.Sprintf("job%02d", i),
-			Run: func() (Report, error) {
+			Run: func(context.Context) (Report, error) {
 				if running.Add(1) > 1 {
 					sawConcurrent.Store(true)
 				}

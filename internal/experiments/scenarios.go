@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -148,21 +149,28 @@ type ScenarioSweepResult struct {
 // across the 7-GTS-slot budget. Results are deterministic and identical at
 // every worker count.
 func ScenarioSweep(cfg ScenarioSweepConfig) (*ScenarioSweepResult, error) {
+	return ScenarioSweepContext(context.Background(), cfg)
+}
+
+// ScenarioSweepContext is ScenarioSweep under a cancellation context,
+// threaded through the job runner into each scenario's NSGA-II generation
+// loop — SIGINT in wsn-experiments stops the sweep within one generation.
+func ScenarioSweepContext(ctx context.Context, cfg ScenarioSweepConfig) (*ScenarioSweepResult, error) {
 	cfg = cfg.withDefaults()
 
 	jobs := make([]Job, len(cfg.Names))
 	for i, name := range cfg.Names {
 		name := name
-		jobs[i] = Job{Name: name, Run: func() (Report, error) {
+		jobs[i] = Job{Name: name, Run: func(ctx context.Context) (Report, error) {
 			sc, ok := scenario.Lookup(name)
 			if !ok {
 				return nil, fmt.Errorf("scenario %q not registered", name)
 			}
-			return evalScenario(sc, cfg)
+			return evalScenario(ctx, sc, cfg)
 		}}
 	}
 	res := &ScenarioSweepResult{}
-	for _, out := range RunJobs(jobs, cfg.Workers) {
+	for _, out := range RunJobsContext(ctx, jobs, cfg.Workers) {
 		if out.Err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", out.Name, out.Err)
 		}
@@ -180,17 +188,18 @@ func ScenarioSweep(cfg ScenarioSweepConfig) (*ScenarioSweepResult, error) {
 }
 
 // evalScenario explores one scenario and cross-checks the balanced pick.
-func evalScenario(sc scenario.Scenario, cfg ScenarioSweepConfig) (*ScenarioRow, error) {
+// The context cancels the search at generation boundaries.
+func evalScenario(ctx context.Context, sc scenario.Scenario, cfg ScenarioSweepConfig) (*ScenarioRow, error) {
 	p, err := scenario.NewProblem(sc, cfg.Cal)
 	if err != nil {
 		return nil, err
 	}
-	search, err := dse.NSGA2(p.Space(), p.Evaluator(), dse.NSGA2Config{
+	search, err := dse.NSGA2Opts(p.Space(), p.Evaluator(), dse.NSGA2Config{
 		PopulationSize: cfg.PopulationSize,
 		Generations:    cfg.Generations,
 		Seed:           cfg.Seed,
 		Workers:        cfg.Workers,
-	})
+	}, dse.Options{Context: ctx})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"wsndse/internal/dse"
+)
+
+// BenchmarkServiceThroughput measures end-to-end jobs/s through the
+// Manager — submit, schedule, compile, search, store — at 1, 4 and 16
+// concurrent job workers. Each job is a small seeded NSGA-II exploration
+// of the case-study ward, so the number tracks scheduling + pipeline
+// overhead, not raw evaluation speed (bench_test.go at the repo root
+// owns that).
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("jobs%d", workers), func(b *testing.B) {
+			m := New(Config{Workers: workers, QueueLimit: workers * 4})
+			defer m.Close()
+			ctx := context.Background()
+			start := time.Now()
+			b.ResetTimer()
+			inFlight := make([]string, 0, workers)
+			drain := func() {
+				for _, id := range inFlight {
+					info, err := m.Wait(ctx, id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if info.Status != StatusDone {
+						b.Fatalf("job %s: %s (%s)", id, info.Status, info.Error)
+					}
+				}
+				inFlight = inFlight[:0]
+			}
+			for i := 0; i < b.N; i++ {
+				info, err := m.Submit(Spec{
+					Scenario:  "ecg-ward",
+					Algorithm: AlgoNSGA2,
+					Seed:      int64(i),
+					Workers:   1,
+					NSGA2:     &dse.NSGA2Config{PopulationSize: 8, Generations: 4},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				inFlight = append(inFlight, info.ID)
+				if len(inFlight) == workers {
+					drain()
+				}
+			}
+			drain()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkSSEFanout measures the event hub broadcasting one progress
+// event to N subscribers — the per-generation cost a popular job pays
+// with many SSE watchers attached.
+func BenchmarkSSEFanout(b *testing.B) {
+	for _, subs := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("subs%d", subs), func(b *testing.B) {
+			h := newHub()
+			done := make(chan struct{})
+			for s := 0; s < subs; s++ {
+				_, ch, cancel := h.subscribe()
+				defer cancel()
+				go func(ch <-chan Event) {
+					for range ch { // drain
+					}
+					done <- struct{}{}
+				}(ch)
+			}
+			p := &ProgressInfo{Step: 1, TotalSteps: 100, Evaluated: 512, FrontSize: 32}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.publish(Event{Type: "progress", Progress: p})
+			}
+			b.StopTimer()
+			h.close()
+			for s := 0; s < subs; s++ {
+				<-done
+			}
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"wsndse/internal/dse"
+)
+
+// Client is the Go wrapper around the wsn-serve HTTP API. The zero
+// HTTPClient falls back to http.DefaultClient; BaseURL is the server root
+// (e.g. "http://127.0.0.1:8080").
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given server root.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is the wire form of a server-side error.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// do issues the request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses come back as errors carrying the
+// server's message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec and returns the queued job.
+func (c *Client) Submit(ctx context.Context, spec Spec) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &info)
+	return info, err
+}
+
+// Job fetches one job's state.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	var infos []JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &infos)
+	return infos, err
+}
+
+// Cancel requests cooperative cancellation.
+func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// Front fetches the job's Pareto front (available once the job is done,
+// or cancelled with a partial front).
+func (c *Client) Front(ctx context.Context, id string) (FrontResponse, error) {
+	var front FrontResponse
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/front", nil, &front)
+	return front, err
+}
+
+// Checkpoint fetches the job's latest snapshot — the artifact a new job's
+// Spec.Resume takes.
+func (c *Client) Checkpoint(ctx context.Context, id string) (*dse.Snapshot, error) {
+	snap := &dse.Snapshot{}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/checkpoint", nil, snap)
+	return snap, err
+}
+
+// Scenarios lists the registered workloads.
+func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	var infos []ScenarioInfo
+	err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &infos)
+	return infos, err
+}
+
+// Results queries the versioned result store; empty filters match all.
+func (c *Client) Results(ctx context.Context, scenarioName, algorithm string) ([]StoredResult, error) {
+	q := url.Values{}
+	if scenarioName != "" {
+		q.Set("scenario", scenarioName)
+	}
+	if algorithm != "" {
+		q.Set("algorithm", algorithm)
+	}
+	path := "/v1/results"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var results []StoredResult
+	err := c.do(ctx, http.MethodGet, path, nil, &results)
+	return results, err
+}
+
+// Events consumes the job's SSE stream, invoking fn for each event until
+// fn returns false, the stream ends (job terminal), or ctx expires. A nil
+// error means the stream ended normally.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("service: events %s: %s (HTTP %d)", id, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: events %s: HTTP %d", id, resp.StatusCode)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		case line == "" && len(data) > 0:
+			var e Event
+			if err := json.Unmarshal(data, &e); err != nil {
+				return fmt.Errorf("service: malformed event: %w", err)
+			}
+			data = data[:0]
+			if !fn(e) {
+				return nil
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Wait streams events until the job reaches a terminal state (calling
+// onEvent for each event if non-nil), then returns the final job info.
+// It degrades to the job's current state if the stream ends early.
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (JobInfo, error) {
+	err := c.Events(ctx, id, func(e Event) bool {
+		if onEvent != nil {
+			onEvent(e)
+		}
+		return !(e.Type == "status" && e.Status.Terminal())
+	})
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return c.Job(ctx, id)
+}

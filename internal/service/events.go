@@ -1,0 +1,129 @@
+package service
+
+import "sync"
+
+// Event is one entry in a job's event stream. Status events mark
+// lifecycle transitions; progress events carry boundary snapshots. Seq is
+// monotonically increasing per job, so a reconnecting consumer can detect
+// what it missed.
+type Event struct {
+	Seq      int           `json:"seq"`
+	Type     string        `json:"type"` // "status" | "progress"
+	Status   Status        `json:"status,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Progress *ProgressInfo `json:"progress,omitempty"`
+}
+
+// subBuffer is each subscriber's channel depth. Slow consumers lose
+// intermediate progress events (drop-oldest), never the ordering of what
+// they do see; lifecycle events survive in the replay history regardless.
+const subBuffer = 256
+
+// hub is a per-job event broadcaster. It keeps a bounded replay history —
+// every lifecycle transition plus the latest progress event — so a
+// subscriber attaching mid-run (or after completion) immediately learns
+// the job's story without the service buffering thousands of generation
+// snapshots.
+type hub struct {
+	mu           sync.Mutex
+	seq          int
+	status       []Event // lifecycle transitions, a handful at most
+	lastProgress *Event
+	subs         map[chan Event]struct{}
+	closed       bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan Event]struct{})}
+}
+
+// publish assigns the next sequence number and fans the event out to every
+// subscriber. Sends never block the publishing (search) goroutine: a full
+// subscriber drops its oldest buffered event instead.
+func (h *hub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	e.Seq = h.seq
+	if e.Type == "progress" {
+		cp := e
+		h.lastProgress = &cp
+	} else {
+		h.status = append(h.status, e)
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			select { // drop-oldest; h.mu serializes all sends
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- e:
+			default:
+			}
+		}
+	}
+}
+
+// close ends the stream: every subscriber's channel is closed after the
+// events already buffered, and future subscribers get replay + an
+// immediately closed channel.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = nil
+}
+
+// subscribe returns the replay history (lifecycle events plus the latest
+// progress snapshot, in Seq order), a live channel, and a cancel func.
+// After the hub closes the channel is closed; cancel is idempotent and
+// safe after close.
+func (h *hub) subscribe() (replay []Event, ch <-chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = h.replayLocked()
+	c := make(chan Event, subBuffer)
+	if h.closed {
+		close(c)
+		return replay, c, func() {}
+	}
+	h.subs[c] = struct{}{}
+	cancel = func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[c]; ok {
+			delete(h.subs, c)
+			close(c)
+		}
+	}
+	return replay, c, cancel
+}
+
+// replayLocked merges status history and the latest progress by Seq.
+func (h *hub) replayLocked() []Event {
+	out := make([]Event, 0, len(h.status)+1)
+	lp := h.lastProgress
+	for _, e := range h.status {
+		if lp != nil && lp.Seq < e.Seq {
+			out = append(out, *lp)
+			lp = nil
+		}
+		out = append(out, e)
+	}
+	if lp != nil {
+		out = append(out, *lp)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/scenario"
+)
+
+// ScenarioInfo is one row of GET /v1/scenarios: enough for a client to
+// pick a workload and size its exploration budget.
+type ScenarioInfo struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Stress      string  `json:"stress"`
+	Nodes       int     `json:"nodes"`
+	Genes       int     `json:"genes"`
+	SpaceSize   float64 `json:"space_size"`
+	Objectives  int     `json:"objectives"`
+}
+
+// NewHandler exposes the Manager as a JSON HTTP API:
+//
+//	POST   /v1/jobs               submit a Spec            → 201 JobInfo
+//	GET    /v1/jobs               list jobs                → 200 []JobInfo
+//	GET    /v1/jobs/{id}          job state                → 200 JobInfo
+//	DELETE /v1/jobs/{id}          cancel (cooperative)     → 202 JobInfo
+//	GET    /v1/jobs/{id}/front    Pareto front             → 200 FrontResponse (409 until available)
+//	GET    /v1/jobs/{id}/checkpoint  latest dse.Snapshot   → 200 (404 if none)
+//	GET    /v1/jobs/{id}/events   live progress stream     → 200 text/event-stream (SSE)
+//	GET    /v1/scenarios          registered workloads     → 200 []ScenarioInfo
+//	GET    /v1/results            result store query       → 200 []StoredResult (?scenario=&algorithm=)
+//	GET    /healthz               liveness                 → 200
+//
+// Errors are {"error": "..."} with conventional status codes (400 bad
+// spec, 404 unknown id, 409 front not ready, 429 queue full).
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+			return
+		}
+		info, err := m.Submit(spec)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				writeError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrClosed):
+				writeError(w, http.StatusServiceUnavailable, err)
+			default:
+				writeError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := m.Cancel(id); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		info, _ := m.Get(id)
+		writeJSON(w, http.StatusAccepted, info)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/front", func(w http.ResponseWriter, r *http.Request) {
+		front, err := m.Front(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrNotFinished):
+			writeError(w, http.StatusConflict, err)
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, front)
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := m.Checkpoint(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, listScenarios())
+	})
+	mux.HandleFunc("GET /v1/results", func(w http.ResponseWriter, r *http.Request) {
+		results := m.Store().Query(r.URL.Query().Get("scenario"), r.URL.Query().Get("algorithm"))
+		if results == nil {
+			results = []StoredResult{}
+		}
+		writeJSON(w, http.StatusOK, results)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// serveEvents streams the job's event feed as server-sent events: replayed
+// history first, then live events until the job terminates or the client
+// disconnects. Each event is `id: <seq>\nevent: <type>\ndata: <json>`.
+func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("service: response writer cannot stream"))
+		return
+	}
+	replay, ch, cancel, err := m.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	write := func(e Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, e := range replay {
+		if !write(e) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				return // job terminated; the terminal status event preceded the close
+			}
+			if !write(e) {
+				return
+			}
+		}
+	}
+}
+
+// listScenarios builds the scenario listing from the registry, compiling
+// each problem once for its space size.
+func listScenarios() []ScenarioInfo {
+	cal := casestudy.DefaultCalibration()
+	scs := scenario.List()
+	out := make([]ScenarioInfo, 0, len(scs))
+	for _, sc := range scs {
+		info := ScenarioInfo{
+			Name:        sc.Name,
+			Description: sc.Description,
+			Stress:      sc.Stress,
+			Nodes:       len(sc.Nodes),
+			Objectives:  3,
+		}
+		if p, err := scenario.NewProblem(sc, cal); err == nil {
+			info.Genes = len(p.Space().Params)
+			info.SpaceSize = p.Space().Size()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,350 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"wsndse/internal/dse"
+	"wsndse/internal/scenario"
+)
+
+// newTestServer boots a Manager behind an httptest server and returns a
+// Client against it.
+func newTestServer(t *testing.T, cfg Config) (*Client, *Manager) {
+	t.Helper()
+	m := New(cfg)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return NewClient(srv.URL), m
+}
+
+func TestHTTPSubmitWaitFront(t *testing.T) {
+	c, _ := newTestServer(t, Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	scenarios, err := c.Scenarios(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != len(scenario.Names()) {
+		t.Fatalf("%d scenarios over HTTP, registry has %d", len(scenarios), len(scenario.Names()))
+	}
+	for _, si := range scenarios {
+		if si.Name == "" || si.SpaceSize <= 0 || si.Objectives != 3 {
+			t.Fatalf("scenario info %+v", si)
+		}
+	}
+
+	info, err := c.Submit(ctx, smallNSGA2("ecg-ward", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progressEvents, statusEvents int
+	final, err := c.Wait(ctx, info.ID, func(e Event) {
+		switch e.Type {
+		case "progress":
+			progressEvents++
+		case "status":
+			statusEvents++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("job %s: %s", final.Status, final.Error)
+	}
+	if progressEvents == 0 || statusEvents == 0 {
+		t.Fatalf("SSE delivered %d progress / %d status events", progressEvents, statusEvents)
+	}
+	front, err := c.Front(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front.Front) == 0 || front.Status != StatusDone {
+		t.Fatalf("front %+v", front)
+	}
+
+	// The versioned store serves the same front.
+	results, err := c.Results(ctx, "ecg-ward", AlgoNSGA2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !reflect.DeepEqual(results[0].Front, front.Front) {
+		t.Fatalf("stored results %+v", results)
+	}
+	if results[0].Version != final.ResultVersion {
+		t.Fatalf("store version %d, job says %d", results[0].Version, final.ResultVersion)
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != info.ID {
+		t.Fatalf("jobs %+v", jobs)
+	}
+}
+
+// TestHTTPEndToEndAllScenariosBothAlgorithms is the acceptance sweep:
+// submit → stream progress via SSE → fetch front over HTTP for every
+// registered scenario × {nsga2, mosa}, twice each at different service
+// concurrency, asserting bit-identical fronts.
+func TestHTTPEndToEndAllScenariosBothAlgorithms(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	type key struct{ scenario, algo string }
+	run := func(workers int) map[key]FrontResponse {
+		c, _ := newTestServer(t, Config{Workers: workers})
+		fronts := map[key]FrontResponse{}
+		var ids []struct {
+			k  key
+			id string
+		}
+		for _, name := range scenario.Names() {
+			for _, algo := range []string{AlgoNSGA2, AlgoMOSA} {
+				spec := Spec{Scenario: name, Algorithm: algo, Seed: 21, Workers: 2}
+				switch algo {
+				case AlgoNSGA2:
+					spec.NSGA2 = &dse.NSGA2Config{PopulationSize: 8, Generations: 5}
+				case AlgoMOSA:
+					spec.MOSA = &dse.MOSAConfig{Iterations: 600, Restarts: 2}
+				}
+				info, err := c.Submit(ctx, spec)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, algo, err)
+				}
+				ids = append(ids, struct {
+					k  key
+					id string
+				}{key{name, algo}, info.ID})
+			}
+		}
+		for _, entry := range ids {
+			sawProgress := false
+			final, err := c.Wait(ctx, entry.id, func(e Event) {
+				if e.Type == "progress" {
+					sawProgress = true
+				}
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", entry.k, err)
+			}
+			if final.Status != StatusDone {
+				t.Fatalf("%v: %s (%s)", entry.k, final.Status, final.Error)
+			}
+			if !sawProgress {
+				t.Errorf("%v: no progress events on the SSE stream", entry.k)
+			}
+			front, err := c.Front(ctx, entry.id)
+			if err != nil {
+				t.Fatalf("%v: %v", entry.k, err)
+			}
+			if len(front.Front) == 0 {
+				t.Fatalf("%v: empty front", entry.k)
+			}
+			fronts[entry.k] = front
+		}
+		return fronts
+	}
+
+	sequential := run(1)
+	concurrent := run(4)
+	for k, want := range sequential {
+		got := concurrent[k]
+		if !reflect.DeepEqual(want.Front, got.Front) {
+			t.Fatalf("%v: front differs between service concurrency 1 and 4", k)
+		}
+		if want.Evaluated != got.Evaluated || want.Infeasible != got.Infeasible {
+			t.Fatalf("%v: counts differ between service concurrency 1 and 4", k)
+		}
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	c, m := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := c.Submit(ctx, Spec{Scenario: "nope", Algorithm: AlgoNSGA2}); err == nil ||
+		!strings.Contains(err.Error(), "400") {
+		t.Fatalf("bad spec error: %v", err)
+	}
+	if _, err := c.Job(ctx, "j999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown job error: %v", err)
+	}
+	if _, err := c.Front(ctx, "j999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown front error: %v", err)
+	}
+	if err := c.Events(ctx, "j999", func(Event) bool { return true }); err == nil {
+		t.Fatal("events for unknown job succeeded")
+	}
+
+	// Front before completion → 409. Submit an effectively-endless job.
+	info, err := c.Submit(ctx, Spec{
+		Scenario: "ecg-ward", Algorithm: AlgoNSGA2, Seed: 1, Workers: 1,
+		NSGA2: &dse.NSGA2Config{PopulationSize: 8, Generations: 1000000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ji, err := c.Job(ctx, info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ji.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", ji.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Front(ctx, info.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("running-front error: %v", err)
+	}
+	if _, err := c.Cancel(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusCancelled {
+		t.Fatalf("cancelled job is %s", final.Status)
+	}
+	_ = m
+}
+
+// TestHTTPCheckpointRoundTrip drives the kill/resume flow purely over the
+// HTTP surface: checkpoint → cancel → fetch snapshot → resubmit with
+// resume → identical front to an uninterrupted HTTP job.
+func TestHTTPCheckpointRoundTrip(t *testing.T) {
+	c, _ := newTestServer(t, Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	spec := Spec{
+		Scenario: "athletes", Algorithm: AlgoNSGA2, Seed: 13, Workers: 2,
+		NSGA2: &dse.NSGA2Config{PopulationSize: 12, Generations: 25},
+	}
+	ref, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, ref.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Front(ctx, ref.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec.CheckpointEvery = 4
+	victim, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Events(ctx, victim.ID, func(e Event) bool {
+		if e.Type == "progress" && e.Progress.Step >= 4 {
+			if _, err := c.Cancel(ctx, victim.ID); err != nil {
+				t.Errorf("cancel: %v", err)
+			}
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, victim.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Checkpoint(ctx, victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Algorithm != AlgoNSGA2 || snap.Step < 4 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+
+	resume := spec
+	resume.Resume = snap
+	resumed, err := c.Submit(ctx, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, resumed.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("resumed job %s (%s)", final.Status, final.Error)
+	}
+	got, err := c.Front(ctx, resumed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Front, got.Front) {
+		t.Fatal("resumed-over-HTTP front differs from uninterrupted run")
+	}
+}
+
+// TestSSEWireFormat checks the raw stream shape without the client's
+// parser in the way.
+func TestSSEWireFormat(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	info, err := m.Submit(smallNSGA2("ecg-ward", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, info.ID)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + info.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	// The job is already terminal, so the server replays the history and
+	// closes the stream — a plain read drains it.
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{"event: status", "event: progress", `"status":"done"`, "id: "} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("SSE body missing %q:\n%s", want, body)
+		}
+	}
+	// Each data line must be standalone-parseable JSON.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "data: ") {
+			var e Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				t.Fatalf("unparseable data line %q: %v", line, err)
+			}
+		}
+	}
+}

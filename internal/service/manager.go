@@ -1,0 +1,516 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/dse"
+	"wsndse/internal/scenario"
+)
+
+// Config parameterizes a Manager. The zero value is usable: 2 concurrent
+// jobs, a 64-deep queue, no checkpoint directory (snapshots are then kept
+// in memory only).
+type Config struct {
+	// Workers is how many jobs run concurrently (job-level parallelism;
+	// each job additionally fans its evaluations over Spec.Workers).
+	Workers int
+	// QueueLimit bounds queued-but-not-started jobs; Submit fails fast
+	// with ErrQueueFull beyond it, because an unbounded queue turns
+	// overload into silent unbounded latency.
+	QueueLimit int
+	// CheckpointDir, when set, persists each job's latest snapshot to
+	// <dir>/<jobID>.snapshot.json (atomically, via rename) so checkpoints
+	// survive the process.
+	CheckpointDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	return c
+}
+
+// Sentinel errors of the job API.
+var (
+	ErrNotFound    = errors.New("service: no such job")
+	ErrQueueFull   = errors.New("service: job queue is full")
+	ErrClosed      = errors.New("service: manager is closed")
+	ErrNotFinished = errors.New("service: job has no front yet")
+	ErrNoSnapshot  = errors.New("service: job has no checkpoint")
+)
+
+// job is the internal job record. mu guards info/result/snapshot; the
+// lifecycle is single-writer (the manager worker running the job) but
+// many-reader.
+type job struct {
+	mu       sync.Mutex
+	info     JobInfo
+	spec     Spec            // normalized, Resume intact
+	ctx      context.Context // derived from the manager root; Cancel fires it
+	cancel   context.CancelFunc
+	hub      *hub
+	result   *dse.Result
+	snapshot *dse.Snapshot
+	done     chan struct{}
+}
+
+// setStatus transitions the lifecycle under the job lock and publishes
+// the matching event. It refuses to leave a terminal state.
+func (j *job) setStatus(s Status, errMsg string) bool {
+	j.mu.Lock()
+	if j.info.Status.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.info.Status = s
+	j.info.Error = errMsg
+	now := time.Now()
+	switch s {
+	case StatusRunning:
+		j.info.StartedAt = &now
+	case StatusDone, StatusFailed, StatusCancelled:
+		j.info.FinishedAt = &now
+	}
+	j.mu.Unlock()
+	j.hub.publish(Event{Type: "status", Status: s, Error: errMsg})
+	if s.Terminal() {
+		j.hub.close()
+		close(j.done)
+	}
+	return true
+}
+
+// Manager is the job scheduler: a bounded queue feeding a fixed pool of
+// job workers, a per-job event hub, and the shared result Store. All
+// methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	store *Store
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
+
+	queue chan *job
+	root  context.Context
+	stop  context.CancelFunc
+	wg    sync.WaitGroup
+}
+
+// New starts a Manager with cfg.Workers job workers.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	root, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:   cfg,
+		store: &Store{},
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, cfg.QueueLimit),
+		root:  root,
+		stop:  stop,
+	}
+	m.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Store returns the versioned result store.
+func (m *Manager) Store() *Store { return m.store }
+
+// Close cancels every job, stops accepting submissions, and waits for the
+// workers to drain. Queued jobs are marked cancelled.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.stop()
+	m.wg.Wait()
+	// Anything still non-terminal (queued jobs the workers never reached)
+	// is cancelled for the record.
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.setStatus(StatusCancelled, "manager closed")
+	}
+}
+
+// Submit validates the spec and enqueues a new job, returning its info
+// snapshot. It fails fast on a full queue (ErrQueueFull) or closed
+// manager (ErrClosed).
+func (m *Manager) Submit(spec Spec) (JobInfo, error) {
+	spec = spec.normalize()
+	if err := spec.Validate(); err != nil {
+		return JobInfo{}, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return JobInfo{}, ErrClosed
+	}
+	m.nextID++
+	id := fmt.Sprintf("j%d", m.nextID)
+	ctx, cancel := context.WithCancel(m.root)
+	j := &job{
+		spec:   spec,
+		ctx:    ctx,
+		cancel: cancel,
+		hub:    newHub(),
+		done:   make(chan struct{}),
+	}
+	j.info = JobInfo{
+		ID:        id,
+		Spec:      publicSpec(spec),
+		Status:    StatusQueued,
+		CreatedAt: time.Now(),
+	}
+	if spec.Resume != nil {
+		j.info.ResumedFromStep = spec.Resume.Step
+	}
+	// The queue send stays inside the critical section: it is non-blocking,
+	// and m.mu is what orders it against Close's close(m.queue) — a send
+	// racing the close would panic the process. The queued event precedes
+	// the send so a fast worker cannot publish "running" first (the hub
+	// lock is leaf-level, so publishing under m.mu is cycle-free), and a
+	// rejected job was never registered, so sustained overload does not
+	// accrete phantom job records.
+	j.hub.publish(Event{Type: "status", Status: StatusQueued})
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		return JobInfo{}, ErrQueueFull
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+	return j.snapshotInfo(), nil
+}
+
+// publicSpec strips the (potentially huge) resume snapshot from the spec
+// echoed in JobInfo.
+func publicSpec(s Spec) Spec {
+	s.Resume = nil
+	return s
+}
+
+// snapshotInfo returns a copy of the job's info under its lock.
+func (j *job) snapshotInfo() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := j.info
+	if info.Progress != nil {
+		p := *info.Progress
+		info.Progress = &p
+	}
+	return info
+}
+
+// lookup fetches a job by id.
+func (m *Manager) lookup(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Get returns a job's current info.
+func (m *Manager) Get(id string) (JobInfo, bool) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.snapshotInfo(), true
+}
+
+// Jobs returns every job's info in submission order.
+func (m *Manager) Jobs() []JobInfo {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]JobInfo, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.lookup(id); ok {
+			out = append(out, j.snapshotInfo())
+		}
+	}
+	return out
+}
+
+// Cancel requests cooperative cancellation. Queued jobs cancel
+// immediately; running jobs stop at their next search boundary, keeping
+// the partial front. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.lookup(id)
+	if !ok {
+		return ErrNotFound
+	}
+	j.cancel()
+	// If the job is still queued the worker will observe the dead context
+	// before starting the search; mark it cancelled eagerly so callers see
+	// the state settle without waiting for a worker to reach it.
+	j.mu.Lock()
+	queued := j.info.Status == StatusQueued
+	j.mu.Unlock()
+	if queued {
+		j.setStatus(StatusCancelled, context.Canceled.Error())
+	}
+	return nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) (JobInfo, error) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return j.snapshotInfo(), nil
+	case <-ctx.Done():
+		return j.snapshotInfo(), ctx.Err()
+	}
+}
+
+// Front returns the job's Pareto front: the full result for done jobs,
+// the partial front for cancelled ones. Queued/running/failed jobs return
+// ErrNotFinished (wrapped with the state, so callers can distinguish
+// not-yet from never).
+func (m *Manager) Front(id string) (FrontResponse, error) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return FrontResponse{}, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return FrontResponse{}, fmt.Errorf("%w (status %s)", ErrNotFinished, j.info.Status)
+	}
+	return FrontResponse{
+		JobID:      j.info.ID,
+		Status:     j.info.Status,
+		Scenario:   j.spec.Scenario,
+		Algorithm:  j.spec.Algorithm,
+		Seed:       j.spec.Seed,
+		Evaluated:  j.result.Evaluated,
+		Infeasible: j.result.Infeasible,
+		Front:      frontPoints(j.result.Front),
+	}, nil
+}
+
+// Checkpoint returns the job's latest snapshot (from memory; the
+// CheckpointDir file is its durable twin).
+func (m *Manager) Checkpoint(id string) (*dse.Snapshot, error) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.snapshot == nil {
+		return nil, ErrNoSnapshot
+	}
+	return j.snapshot, nil
+}
+
+// Subscribe attaches to the job's event stream: replayed history plus a
+// live channel (closed when the job terminates). cancel detaches early.
+func (m *Manager) Subscribe(id string) (replay []Event, ch <-chan Event, cancel func(), err error) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return nil, nil, nil, ErrNotFound
+	}
+	replay, ch, cancel = j.hub.subscribe()
+	return replay, ch, cancel, nil
+}
+
+// runJob executes one job on a manager worker.
+func (m *Manager) runJob(j *job) {
+	// Release the job's cancel context once the job is over: a child of
+	// the manager root stays registered with its parent until cancelled,
+	// so skipping this would leak one context node per job for the life
+	// of the process.
+	defer j.cancel()
+	j.mu.Lock()
+	status := j.info.Status
+	j.mu.Unlock()
+	if status.Terminal() {
+		return // cancelled while queued
+	}
+	if j.ctx.Err() != nil {
+		j.setStatus(StatusCancelled, j.ctx.Err().Error())
+		return
+	}
+	if !j.setStatus(StatusRunning, "") {
+		return
+	}
+	res, err := m.execute(j)
+	j.mu.Lock()
+	j.result = res
+	id := j.info.ID
+	j.mu.Unlock()
+	switch {
+	case err == nil:
+		version := m.store.Put(StoredResult{
+			JobID:       id,
+			Scenario:    j.spec.Scenario,
+			Algorithm:   j.spec.Algorithm,
+			Seed:        j.spec.Seed,
+			Evaluated:   res.Evaluated,
+			Infeasible:  res.Infeasible,
+			Front:       frontPoints(res.Front),
+			CompletedAt: time.Now(),
+		})
+		j.mu.Lock()
+		j.info.ResultVersion = version
+		j.mu.Unlock()
+		j.setStatus(StatusDone, "")
+	case errors.Is(err, context.Canceled):
+		j.setStatus(StatusCancelled, context.Canceled.Error())
+	default:
+		j.setStatus(StatusFailed, err.Error())
+	}
+}
+
+// execute materializes the scenario's compiled pipeline and runs the
+// spec's algorithm under the job's context with progress and checkpoint
+// hooks attached.
+func (m *Manager) execute(j *job) (*dse.Result, error) {
+	spec := j.spec
+	sc, ok := scenario.Lookup(spec.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("scenario %q disappeared from the registry", spec.Scenario)
+	}
+	problem, err := scenario.NewProblem(sc, casestudy.DefaultCalibration())
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := problem.Compile()
+	if err != nil {
+		return nil, err
+	}
+	eval := compiled.Evaluator()
+
+	start := time.Now()
+	opts := dse.Options{
+		Context: j.ctx,
+		Progress: func(p dse.Progress) {
+			elapsed := time.Since(start).Seconds()
+			info := ProgressInfo{
+				Step:       p.Step,
+				TotalSteps: p.TotalSteps,
+				Evaluated:  p.Evaluated,
+				Infeasible: p.Infeasible,
+				FrontSize:  len(p.Front),
+				ElapsedSec: elapsed,
+			}
+			if elapsed > 0 {
+				info.EvalsPerSec = float64(p.Evaluated) / elapsed
+			}
+			j.mu.Lock()
+			j.info.Progress = &info
+			j.mu.Unlock()
+			j.hub.publish(Event{Type: "progress", Progress: &info})
+		},
+		CheckpointEvery: spec.CheckpointEvery,
+		Resume:          spec.Resume,
+	}
+	if spec.CheckpointEvery > 0 {
+		opts.Checkpoint = func(snap *dse.Snapshot) error {
+			j.mu.Lock()
+			j.snapshot = snap
+			id := j.info.ID
+			j.mu.Unlock()
+			if m.cfg.CheckpointDir != "" {
+				return writeSnapshotFile(m.cfg.CheckpointDir, id, snap)
+			}
+			return nil
+		}
+	}
+
+	switch spec.Algorithm {
+	case AlgoNSGA2:
+		cfg := dse.NSGA2Config{}
+		if spec.NSGA2 != nil {
+			cfg = *spec.NSGA2
+		}
+		cfg.Seed, cfg.Workers = spec.Seed, spec.Workers
+		return dse.NSGA2Opts(problem.Space(), eval, cfg, opts)
+	case AlgoMOSA:
+		cfg := dse.MOSAConfig{}
+		if spec.MOSA != nil {
+			cfg = *spec.MOSA
+		}
+		cfg.Seed, cfg.Workers = spec.Seed, spec.Workers
+		return dse.MOSAOpts(problem.Space(), eval, cfg, opts)
+	case AlgoExhaustive:
+		return dse.ExhaustiveOpts(problem.Space(), eval, spec.MaxPoints, spec.Workers, opts)
+	case AlgoRandom:
+		return dse.RandomSearchOpts(problem.Space(), eval, spec.Budget, spec.Seed, spec.Workers, opts)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", spec.Algorithm)
+	}
+}
+
+// writeSnapshotFile persists a snapshot atomically (write to a temp file,
+// then rename) so a crash mid-write never leaves a truncated checkpoint.
+func writeSnapshotFile(dir, id string, snap *dse.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".snapshot.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshot reads a snapshot previously persisted by a Manager with
+// CheckpointDir set — the resume path for jobs that outlived the process.
+func LoadSnapshot(dir, id string) (*dse.Snapshot, error) {
+	data, err := os.ReadFile(filepath.Join(dir, id+".snapshot.json"))
+	if err != nil {
+		return nil, err
+	}
+	snap := &dse.Snapshot{}
+	if err := json.Unmarshal(data, snap); err != nil {
+		return nil, fmt.Errorf("service: corrupt snapshot for %s: %w", id, err)
+	}
+	return snap, nil
+}

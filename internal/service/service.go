@@ -1,0 +1,222 @@
+// Package service turns the scenario × algorithm exploration stack into a
+// job-oriented, multi-tenant runtime: callers submit exploration jobs
+// (scenario name, algorithm, seed, budget), a bounded-worker Manager
+// schedules them concurrently over the compiled evaluation pipeline, and
+// each job exposes lifecycle state, streaming progress, periodic
+// checkpoints and — once finished — a versioned Pareto front in the result
+// Store.
+//
+// The paper's pitch is that the analytical model makes design-space
+// exploration cheap enough to be interactive; this package is the layer
+// that makes it *shared*: many consumers exploring many scenarios against
+// one process, with the same determinism contract the algorithms
+// guarantee below — a seeded job returns a bit-identical front no matter
+// how many other jobs the service is running, because jobs share nothing
+// mutable but the memo-safe code paths proven scheduling-independent in
+// internal/dse.
+//
+// # Lifecycle
+//
+// A job moves queued → running → done | failed | cancelled. Cancellation
+// is cooperative through context.Context: the search algorithms check it
+// at generation/segment/batch boundaries, so a cancelled job stops within
+// one boundary and keeps the partial front it explored. Jobs that request
+// checkpointing (Spec.CheckpointEvery > 0) produce dse.Snapshot
+// checkpoints at those same boundaries; a killed job resubmitted with
+// Spec.Resume set to its last snapshot replays the uninterrupted run's
+// exact trajectory and finishes with a bit-identical front.
+//
+// # HTTP surface
+//
+// NewHandler exposes the Manager as a JSON-over-HTTP API (see http.go for
+// the route table), including an SSE stream of per-job progress events,
+// and Client wraps that API for Go callers. cmd/wsn-serve is the
+// production entry point; examples/service walks the whole flow.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"wsndse/internal/dse"
+	"wsndse/internal/scenario"
+)
+
+// Algorithms the service accepts, mapping 1:1 onto the search entry
+// points in internal/dse.
+const (
+	AlgoNSGA2      = "nsga2"
+	AlgoMOSA       = "mosa"
+	AlgoExhaustive = "exhaustive"
+	AlgoRandom     = "random"
+)
+
+// Spec is the client-facing job description. Seed and Workers live here —
+// not in the per-algorithm configs — because they are service-level
+// concerns: Seed is the determinism key results are stored under, and
+// Workers is the evaluation parallelism the scheduler budgets for
+// (default 1, so a loaded service degrades to fair round-robin instead of
+// thrashing; the per-job cap keeps one tenant from monopolizing the
+// machine). Seed/Workers fields inside NSGA2/MOSA are overridden.
+type Spec struct {
+	Scenario  string `json:"scenario"`
+	Algorithm string `json:"algorithm"`
+	Seed      int64  `json:"seed,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+
+	// Exactly the matching algorithm's config is consulted; both are
+	// optional (zero configs select the dse defaults).
+	NSGA2 *dse.NSGA2Config `json:"nsga2,omitempty"`
+	MOSA  *dse.MOSAConfig  `json:"mosa,omitempty"`
+
+	// Budget is the random-search draw budget (default 4096).
+	Budget int `json:"budget,omitempty"`
+	// MaxPoints guards exhaustive sweeps (default 200000): a space larger
+	// than this is rejected rather than enumerated.
+	MaxPoints int `json:"max_points,omitempty"`
+
+	// CheckpointEvery asks for a dse.Snapshot every N search boundaries
+	// (generations / chain segments / evaluation batches); 0 disables.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Resume restarts from a snapshot produced by a previous job with the
+	// same scenario, algorithm and algorithm config. The resumed job's
+	// front is bit-identical to an uninterrupted run.
+	Resume *dse.Snapshot `json:"resume,omitempty"`
+}
+
+// maxEvalWorkers caps per-job evaluation parallelism.
+const maxEvalWorkers = 64
+
+// normalize fills the defaults validation and execution agree on.
+func (s Spec) normalize() Spec {
+	if s.Workers <= 0 {
+		s.Workers = 1
+	}
+	if s.Budget == 0 {
+		s.Budget = 4096
+	}
+	if s.MaxPoints == 0 {
+		s.MaxPoints = 200000
+	}
+	return s
+}
+
+// Validate rejects a malformed spec before a worker is committed to it:
+// unknown scenario or algorithm, out-of-domain algorithm configs,
+// out-of-range budgets, or a resume snapshot from a different algorithm.
+func (s Spec) Validate() error {
+	if s.Scenario == "" {
+		return fmt.Errorf("service: spec has no scenario")
+	}
+	if _, ok := scenario.Lookup(s.Scenario); !ok {
+		return fmt.Errorf("service: unknown scenario %q", s.Scenario)
+	}
+	switch s.Algorithm {
+	case AlgoNSGA2:
+		if s.NSGA2 != nil {
+			if err := s.NSGA2.Validate(); err != nil {
+				return fmt.Errorf("service: %w", err)
+			}
+		}
+	case AlgoMOSA:
+		if s.MOSA != nil {
+			if err := s.MOSA.Validate(); err != nil {
+				return fmt.Errorf("service: %w", err)
+			}
+		}
+	case AlgoExhaustive, AlgoRandom:
+		// Budget/MaxPoints domain-checked below.
+	default:
+		return fmt.Errorf("service: unknown algorithm %q (want %s|%s|%s|%s)",
+			s.Algorithm, AlgoNSGA2, AlgoMOSA, AlgoExhaustive, AlgoRandom)
+	}
+	if s.Workers < 0 || s.Workers > maxEvalWorkers {
+		return fmt.Errorf("service: workers %d out of [0,%d]", s.Workers, maxEvalWorkers)
+	}
+	if s.Budget < 0 {
+		return fmt.Errorf("service: negative random-search budget %d", s.Budget)
+	}
+	if s.MaxPoints < 0 {
+		return fmt.Errorf("service: negative exhaustive point limit %d", s.MaxPoints)
+	}
+	if s.CheckpointEvery < 0 {
+		return fmt.Errorf("service: negative checkpoint interval %d", s.CheckpointEvery)
+	}
+	if s.Resume != nil && s.Resume.Algorithm != s.Algorithm {
+		return fmt.Errorf("service: resume snapshot is a %s run, spec wants %s", s.Resume.Algorithm, s.Algorithm)
+	}
+	return nil
+}
+
+// Status is the job lifecycle state.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the job has stopped moving.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// ProgressInfo is the service-level progress view: the dse boundary
+// counters plus wall-clock throughput (which belongs here, not in dse —
+// timing is observational and never feeds back into results).
+type ProgressInfo struct {
+	Step        int     `json:"step"`
+	TotalSteps  int     `json:"total_steps"`
+	Evaluated   int     `json:"evaluated"`
+	Infeasible  int     `json:"infeasible"`
+	FrontSize   int     `json:"front_size"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+}
+
+// JobInfo is the externally visible job state. Spec is echoed with Resume
+// nulled (snapshots can be large; ResumedFromStep records that and where
+// the job resumed).
+type JobInfo struct {
+	ID              string        `json:"id"`
+	Spec            Spec          `json:"spec"`
+	ResumedFromStep int           `json:"resumed_from_step,omitempty"`
+	Status          Status        `json:"status"`
+	Error           string        `json:"error,omitempty"`
+	CreatedAt       time.Time     `json:"created_at"`
+	StartedAt       *time.Time    `json:"started_at,omitempty"`
+	FinishedAt      *time.Time    `json:"finished_at,omitempty"`
+	Progress        *ProgressInfo `json:"progress,omitempty"`
+	ResultVersion   int           `json:"result_version,omitempty"`
+}
+
+// FrontPoint is one Pareto-front point in wire form.
+type FrontPoint struct {
+	Config []int     `json:"config"`
+	Objs   []float64 `json:"objs"`
+}
+
+// frontPoints converts a dse front (feasible by construction).
+func frontPoints(front []dse.Point) []FrontPoint {
+	out := make([]FrontPoint, len(front))
+	for i, p := range front {
+		out[i] = FrontPoint{Config: append([]int(nil), p.Config...), Objs: append([]float64(nil), p.Objs...)}
+	}
+	return out
+}
+
+// FrontResponse is the GET /v1/jobs/{id}/front payload: the front over
+// everything the job evaluated, with enough identity to reproduce it.
+type FrontResponse struct {
+	JobID      string       `json:"job_id"`
+	Status     Status       `json:"status"`
+	Scenario   string       `json:"scenario"`
+	Algorithm  string       `json:"algorithm"`
+	Seed       int64        `json:"seed"`
+	Evaluated  int          `json:"evaluated"`
+	Infeasible int          `json:"infeasible"`
+	Front      []FrontPoint `json:"front"`
+}

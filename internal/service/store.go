@@ -1,0 +1,87 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// StoredResult is one finished exploration kept by the Store: the front
+// plus the identity that produced it. Version is a process-wide monotonic
+// counter — "the ward's front as of version 17" is a stable reference
+// even as newer jobs re-explore the same scenario.
+type StoredResult struct {
+	Version     int          `json:"version"`
+	JobID       string       `json:"job_id"`
+	Scenario    string       `json:"scenario"`
+	Algorithm   string       `json:"algorithm"`
+	Seed        int64        `json:"seed"`
+	Evaluated   int          `json:"evaluated"`
+	Infeasible  int          `json:"infeasible"`
+	Front       []FrontPoint `json:"front"`
+	CompletedAt time.Time    `json:"completed_at"`
+}
+
+// Store is the versioned result archive: every successfully finished
+// job's front, queryable by scenario and algorithm. It is append-only —
+// results are immutable history, superseded rather than overwritten.
+type Store struct {
+	mu      sync.RWMutex
+	results []StoredResult
+}
+
+// Put archives a result and returns its version (1-based, monotonic in
+// completion order).
+func (s *Store) Put(r StoredResult) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Version = len(s.results) + 1
+	s.results = append(s.results, r)
+	return r.Version
+}
+
+// Query returns results matching the filters in version order; empty
+// strings match everything. The returned slice is fresh but shares the
+// immutable front storage.
+func (s *Store) Query(scenarioName, algorithm string) []StoredResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []StoredResult
+	for _, r := range s.results {
+		if (scenarioName == "" || r.Scenario == scenarioName) &&
+			(algorithm == "" || r.Algorithm == algorithm) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Latest returns the newest result matching the filters.
+func (s *Store) Latest(scenarioName, algorithm string) (StoredResult, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := len(s.results) - 1; i >= 0; i-- {
+		r := s.results[i]
+		if (scenarioName == "" || r.Scenario == scenarioName) &&
+			(algorithm == "" || r.Algorithm == algorithm) {
+			return r, true
+		}
+	}
+	return StoredResult{}, false
+}
+
+// Get returns the result at an exact version.
+func (s *Store) Get(version int) (StoredResult, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if version < 1 || version > len(s.results) {
+		return StoredResult{}, false
+	}
+	return s.results[version-1], true
+}
+
+// Len returns how many results are archived.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.results)
+}
