@@ -10,6 +10,13 @@
 //	wsn-explore -scenario dense-gts -algo nsga2 -pop 96 -gen 60 -workers 8
 //	wsn-explore -scenario athletes -objectives baseline -algo mosa -iters 6000
 //	wsn-explore -csv front.csv
+//
+// Generated scenario families (see -list-families) register hundreds of
+// scenarios at once; a member can also be addressed directly and its
+// family is enabled on demand:
+//
+//	wsn-explore -family all -list-scenarios
+//	wsn-explore -scenario chipset-sweep/iris-n5-homo-long-uniform
 package main
 
 import (
@@ -21,7 +28,6 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
-	"strings"
 	"time"
 
 	"wsndse/internal/baseline"
@@ -34,7 +40,9 @@ import (
 func main() {
 	var (
 		scenarioName = flag.String("scenario", "ecg-ward", "registered scenario to explore (see -list-scenarios)")
+		familySpec   = flag.String("family", "", "enable scenario families first: a name, comma list, or 'all' (see -list-families)")
 		list         = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
+		listFamilies = flag.Bool("list-families", false, "list scenario families and their axes, then exit")
 		algo         = flag.String("algo", "nsga2", "search algorithm: nsga2 | mosa | random")
 		objectives   = flag.String("objectives", "full", "evaluator: full (energy, quality, delay) | baseline (energy, delay)")
 		pop          = flag.Int("pop", 96, "NSGA-II population size")
@@ -56,15 +64,21 @@ func main() {
 	stopProfiles = stop
 	defer stop()
 
+	if *listFamilies {
+		cliutil.PrintFamilies(os.Stdout)
+		return
+	}
+	if _, err := cliutil.EnableFamilies(*familySpec); err != nil {
+		fail(err)
+	}
 	if *list {
 		listScenarios()
 		return
 	}
 
-	sc, ok := scenario.Lookup(*scenarioName)
-	if !ok {
-		fail(fmt.Errorf("unknown scenario %q (registered: %s)",
-			*scenarioName, strings.Join(scenario.Names(), ", ")))
+	sc, err := cliutil.LookupScenario(*scenarioName)
+	if err != nil {
+		fail(err)
 	}
 	problem, err := scenario.NewProblem(sc, casestudy.DefaultCalibration())
 	if err != nil {
@@ -166,14 +180,14 @@ func main() {
 }
 
 func listScenarios() {
-	fmt.Printf("%-12s %-6s %-10s %s\n", "name", "nodes", "space", "description")
+	fmt.Printf("%-44s %-6s %-10s %s\n", "name", "nodes", "space", "description")
 	for _, sc := range scenario.List() {
 		size := "?"
 		if p, err := scenario.NewProblem(sc, casestudy.DefaultCalibration()); err == nil {
 			size = fmt.Sprintf("%.3g", p.Space().Size())
 		}
-		fmt.Printf("%-12s %-6d %-10s %s\n", sc.Name, len(sc.Nodes), size, sc.Description)
-		fmt.Printf("%-12s %-6s %-10s stress: %s\n", "", "", "", sc.Stress)
+		fmt.Printf("%-44s %-6d %-10s %s\n", sc.Name, len(sc.Nodes), size, sc.Description)
+		fmt.Printf("%-44s %-6s %-10s stress: %s\n", "", "", "", sc.Stress)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"wsndse/internal/cliutil"
 	"wsndse/internal/service"
 )
 
@@ -40,8 +41,15 @@ func main() {
 		jobs          = flag.Int("jobs", 2, "concurrent exploration jobs")
 		queue         = flag.Int("queue", 64, "queued-job limit (submissions beyond it are rejected)")
 		checkpointDir = flag.String("checkpoint-dir", "", "persist job checkpoints to this directory")
+		familySpec    = flag.String("family", "", "enable scenario families before serving: a name, comma list, or 'all'")
 	)
 	flag.Parse()
+
+	if n, err := cliutil.EnableFamilies(*familySpec); err != nil {
+		fail(err)
+	} else if n > 0 {
+		fmt.Printf("wsn-serve: enabled %d generated scenarios (-family %s)\n", n, *familySpec)
+	}
 
 	m := service.New(service.Config{
 		Workers:       *jobs,

@@ -14,7 +14,7 @@ import (
 	"time"
 )
 
-var update = flag.Bool("update", false, "rewrite testdata/smoke-front.json from the current run")
+var update = flag.Bool("update", false, "rewrite testdata golden fronts from the current run")
 
 // smokeSpec is the job the smoke test (and the CI service-smoke shell job,
 // which must stay in sync — see .github/workflows/ci.yml) submits. The
@@ -22,23 +22,27 @@ var update = flag.Bool("update", false, "rewrite testdata/smoke-front.json from 
 const smokeSpec = `{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,
   "nsga2":{"population_size":16,"generations":12}}`
 
-// TestServeSmoke builds the wsn-serve binary (or uses $WSN_SERVE_BIN),
-// boots it on a random port, submits a small NSGA-II job over plain HTTP,
-// polls it to completion, and diffs the returned front against the golden
-// file — the end-to-end determinism gate for the whole service stack as
-// actually deployed.
-func TestServeSmoke(t *testing.T) {
-	bin := os.Getenv("WSN_SERVE_BIN")
-	if bin == "" {
-		bin = filepath.Join(t.TempDir(), "wsn-serve")
-		build := exec.Command("go", "build", "-o", bin, ".")
-		build.Env = os.Environ()
-		if out, err := build.CombinedOutput(); err != nil {
-			t.Fatalf("building wsn-serve: %v\n%s", err, out)
-		}
+// serveBinary builds wsn-serve once per test run (or honors
+// $WSN_SERVE_BIN, the CI arrangement).
+func serveBinary(t *testing.T) string {
+	t.Helper()
+	if bin := os.Getenv("WSN_SERVE_BIN"); bin != "" {
+		return bin
 	}
+	bin := filepath.Join(t.TempDir(), "wsn-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building wsn-serve: %v\n%s", err, out)
+	}
+	return bin
+}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-jobs", "2")
+// startServe boots the service on a random port and returns its base URL.
+func startServe(t *testing.T, bin string, extraArgs ...string) string {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-jobs", "2"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -47,12 +51,12 @@ func TestServeSmoke(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
+	t.Cleanup(func() {
 		cmd.Process.Kill()
 		cmd.Wait()
-	}()
+	})
 
-	// The first stdout line reports the resolved listen address.
+	// The "listening on" stdout line reports the resolved listen address.
 	scanner := bufio.NewScanner(stdout)
 	base := ""
 	for scanner.Scan() {
@@ -69,8 +73,24 @@ func TestServeSmoke(t *testing.T) {
 		for scanner.Scan() {
 		}
 	}()
+	return base
+}
 
-	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(smokeSpec))
+// goldenFront is the canonical JSON shape the golden files pin.
+type goldenFront struct {
+	Scenario  string `json:"scenario"`
+	Algorithm string `json:"algorithm"`
+	Seed      int64  `json:"seed"`
+	Front     []struct {
+		Config []int     `json:"config"`
+		Objs   []float64 `json:"objs"`
+	} `json:"front"`
+}
+
+// runJob submits a job spec, polls it to completion and returns its front.
+func runJob(t *testing.T, base, spec string) goldenFront {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,28 +123,24 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var front struct {
-		Scenario  string `json:"scenario"`
-		Algorithm string `json:"algorithm"`
-		Seed      int64  `json:"seed"`
-		Front     []struct {
-			Config []int     `json:"config"`
-			Objs   []float64 `json:"objs"`
-		} `json:"front"`
-	}
+	var front goldenFront
 	decodeBody(t, resp, http.StatusOK, &front)
 	if len(front.Front) == 0 {
 		t.Fatal("empty front")
 	}
+	return front
+}
 
-	// Canonicalize (marshal the decoded struct) so formatting differences
-	// never mask or fake a diff.
+// checkGolden diffs a front against its committed golden file (canonical
+// re-marshal, so formatting differences never mask or fake a diff).
+func checkGolden(t *testing.T, front goldenFront, name string) {
+	t.Helper()
 	got, err := json.MarshalIndent(front, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	got = append(got, '\n')
-	golden := filepath.Join("testdata", "smoke-front.json")
+	golden := filepath.Join("testdata", name)
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -141,6 +157,37 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("front differs from golden %s.\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestServeSmoke builds the wsn-serve binary (or uses $WSN_SERVE_BIN),
+// boots it on a random port, submits a small NSGA-II job over plain HTTP,
+// polls it to completion, and diffs the returned front against the golden
+// file — the end-to-end determinism gate for the whole service stack as
+// actually deployed.
+func TestServeSmoke(t *testing.T) {
+	base := startServe(t, serveBinary(t))
+	checkGolden(t, runJob(t, base, smokeSpec), "smoke-front.json")
+}
+
+// TestServeFamilySmoke is the same gate over the generated population: the
+// service boots with -family all and explores one member of each builtin
+// family; the fronts must match their committed goldens bit for bit, so a
+// drifting family definition (axis change, platform recalibration, seed
+// derivation) shows up as a golden diff here rather than as a silent
+// change in served results.
+func TestServeFamilySmoke(t *testing.T) {
+	base := startServe(t, serveBinary(t), "-family", "all")
+	jobs := []struct {
+		scenario, golden string
+	}{
+		{"chipset-sweep/telosb-n4-homo-short-uniform", "smoke-front-chipset.json"},
+		{"mobile-relay/n4-corridor-fast-z1", "smoke-front-mobile-relay.json"},
+	}
+	for _, j := range jobs {
+		spec := `{"scenario":"` + j.scenario + `","algorithm":"nsga2","seed":7,"workers":2,
+  "nsga2":{"population_size":16,"generations":12}}`
+		checkGolden(t, runJob(t, base, spec), j.golden)
 	}
 }
 

@@ -10,14 +10,14 @@
 //	wsn-sim -bo 3 -so 2 -payload 48 -cr 0.23 -fuc 8M -duration 60
 //	wsn-sim -cr 0.29 -fuc 8M -arrival block -per 0.1
 //	wsn-sim -scenario mixed-ward -duration 120
-//	wsn-sim -list-scenarios
+//	wsn-sim -scenario mobile-relay/n4-corridor-fast-z1
+//	wsn-sim -family all -list-scenarios
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"wsndse/internal/casestudy"
@@ -30,7 +30,9 @@ import (
 func main() {
 	var (
 		scenarioName = flag.String("scenario", "", "simulate a registered scenario at a feasible configuration (overrides -bo/-so/-payload/-cr/-fuc/-nodes)")
+		familySpec   = flag.String("family", "", "enable scenario families first: a name, comma list, or 'all' (see -list-families)")
 		list         = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
+		listFamilies = flag.Bool("list-families", false, "list scenario families and their axes, then exit")
 		bo           = flag.Int("bo", 3, "beacon order (BCO)")
 		so           = flag.Int("so", 2, "superframe order (SFO)")
 		payload      = flag.Int("payload", 48, "MAC payload per frame, bytes")
@@ -44,9 +46,16 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listFamilies {
+		cliutil.PrintFamilies(os.Stdout)
+		return
+	}
+	if _, err := cliutil.EnableFamilies(*familySpec); err != nil {
+		fail(err)
+	}
 	if *list {
 		for _, sc := range scenario.List() {
-			fmt.Printf("%-12s %d nodes — %s\n", sc.Name, len(sc.Nodes), sc.Description)
+			fmt.Printf("%-44s %d nodes — %s\n", sc.Name, len(sc.Nodes), sc.Description)
 		}
 		return
 	}
@@ -58,10 +67,9 @@ func main() {
 
 	var cfg sim.Config
 	if *scenarioName != "" {
-		sc, ok := scenario.Lookup(*scenarioName)
-		if !ok {
-			fail(fmt.Errorf("unknown scenario %q (registered: %s)",
-				*scenarioName, strings.Join(scenario.Names(), ", ")))
+		sc, err := cliutil.LookupScenario(*scenarioName)
+		if err != nil {
+			fail(err)
 		}
 		problem, err := scenario.NewProblem(sc, casestudy.DefaultCalibration())
 		if err != nil {

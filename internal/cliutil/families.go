@@ -1,0 +1,63 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"wsndse/internal/scenario"
+	"wsndse/internal/scenario/family"
+)
+
+// EnableFamilies materializes scenario families into the scenario
+// registry, as selected by the CLIs' -family flag: "" enables none, "all"
+// enables every registered family, anything else is a comma-separated list
+// of family names. It returns the number of scenarios newly registered.
+func EnableFamilies(spec string) (int, error) {
+	switch spec = strings.TrimSpace(spec); spec {
+	case "":
+		return 0, nil
+	case "all":
+		return family.EnableAll()
+	}
+	total := 0
+	for _, name := range strings.Split(spec, ",") {
+		n, err := family.Enable(strings.TrimSpace(name))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// LookupScenario resolves a scenario name for a CLI: a plain registered
+// name is returned as-is, and a generated "family/member" name
+// transparently enables its owning family first, so users can address any
+// family member without a separate -family flag.
+func LookupScenario(name string) (scenario.Scenario, error) {
+	if sc, ok := scenario.Lookup(name); ok {
+		return sc, nil
+	}
+	if fam, ok := family.FamilyOf(name); ok {
+		if _, err := family.Enable(fam); err != nil {
+			return scenario.Scenario{}, err
+		}
+		if sc, ok := scenario.Lookup(name); ok {
+			return sc, nil
+		}
+	}
+	return scenario.Scenario{}, fmt.Errorf(
+		"unknown scenario %q (%d registered — see -list-scenarios; families: %s, enable with -family)",
+		name, len(scenario.Names()), strings.Join(family.Names(), ", "))
+}
+
+// PrintFamilies writes the family listing: name, member count, axes.
+func PrintFamilies(w io.Writer) {
+	for _, f := range family.List() {
+		fmt.Fprintf(w, "%-14s %4d members — %s\n", f.Name, f.Size(), f.Description)
+		for _, ax := range f.Axes {
+			fmt.Fprintf(w, "    %-10s %s\n", ax.Name, strings.Join(ax.Values, " "))
+		}
+	}
+}

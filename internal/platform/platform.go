@@ -161,6 +161,124 @@ func TelosB() Platform {
 	}
 }
 
+// MicaZ returns a MicaZ-class mote: an ATmega128L microcontroller (higher
+// per-cycle switching energy than the MSP430 family and no sub-megahertz
+// DCO points), only 4 kB of SRAM, and the same CC2420-class radio as the
+// Shimmer. The AVR core's ~3.3 nJ/cycle moves the energy-optimal µC
+// frequency and makes memory-heavy applications tighter fits — the
+// chipset-dependent shifts a chipset-comparison sweep measures.
+func MicaZ() Platform {
+	return Platform{
+		Name: "micaz",
+		Sensor: SensorModel{
+			TransducerPower: 0.45e-3, // MTS300-class sensor board, duty-cycled
+			Alpha1:          1.8e-6,  // J per 10-bit conversion
+			Alpha0:          0.08e-3,
+		},
+		Micro: MicroModel{
+			Alpha1: 3.3e-9, // ATmega128L ≈ 8 mA at 7.37 MHz, 3 V
+			Alpha0: 0.45e-3,
+		},
+		Memory: MemoryModel{
+			AccessTime:   110e-9,
+			AccessPower:  1.1e-3,
+			BitIdlePower: 14e-12,
+			SizeBytes:    4 * 1024, // the ATmega128L's 4 kB SRAM
+		},
+		Radio:   radio.DefaultCC2420(),
+		ADCBits: 10,
+		MicroFreqs: []units.Hertz{
+			1e6, 2e6, 4e6, 7.37e6,
+		},
+	}
+}
+
+// Z1 returns a Zolertia Z1-class mote: a second-generation MSP430F2617
+// (lower per-cycle energy than the F1611 and a 16 MHz ceiling), 8 kB RAM,
+// a CC2420-class radio and a duty-cycled digital sensor front end.
+func Z1() Platform {
+	return Platform{
+		Name: "z1",
+		Sensor: SensorModel{
+			TransducerPower: 0.11e-3,
+			Alpha1:          0.9e-6, // J per conversion, SHT-class digital chain
+			Alpha0:          0.04e-3,
+		},
+		Micro: MicroModel{
+			Alpha1: 0.55e-9, // MSP430F2617-class at 3 V
+			Alpha0: 0.15e-3,
+		},
+		Memory: MemoryModel{
+			AccessTime:   90e-9,
+			AccessPower:  0.75e-3,
+			BitIdlePower: 9e-12,
+			SizeBytes:    8 * 1024,
+		},
+		Radio:   radio.DefaultCC2420(),
+		ADCBits: 12,
+		MicroFreqs: []units.Hertz{
+			1e6, 2e6, 4e6, 8e6, 16e6,
+		},
+	}
+}
+
+// IRIS returns an IRIS-class mote: an ATmega1281 microcontroller (a more
+// efficient AVR generation than the MicaZ's 128L) paired with the
+// AT86RF230 radio, whose cheaper transmit bits and near-zero sleep draw
+// trade against a slow 880 µs wake-up ramp.
+func IRIS() Platform {
+	return Platform{
+		Name: "iris",
+		Sensor: SensorModel{
+			TransducerPower: 0.40e-3,
+			Alpha1:          1.6e-6, // J per 10-bit conversion
+			Alpha0:          0.07e-3,
+		},
+		Micro: MicroModel{
+			Alpha1: 2.4e-9, // ATmega1281 ≈ 6 mA at 7.37 MHz, 3 V
+			Alpha0: 0.35e-3,
+		},
+		Memory: MemoryModel{
+			AccessTime:   110e-9,
+			AccessPower:  1.0e-3,
+			BitIdlePower: 12e-12,
+			SizeBytes:    8 * 1024,
+		},
+		Radio:   radio.DefaultAT86RF230(),
+		ADCBits: 10,
+		MicroFreqs: []units.Hertz{
+			1e6, 2e6, 4e6, 7.37e6,
+		},
+	}
+}
+
+// Catalog returns every shipped platform, in a fixed order. The catalog is
+// what makes the platform an explorable axis: scenario families sweep it
+// the way hand-written scenarios sweep CR grids.
+func Catalog() []Platform {
+	return []Platform{Shimmer(), TelosB(), MicaZ(), Z1(), IRIS()}
+}
+
+// ByName returns the catalog platform with the given name.
+func ByName(name string) (Platform, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Platform{}, false
+}
+
+// Names returns the catalog platform names, in catalog order.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, p := range cat {
+		names[i] = p.Name
+	}
+	return names
+}
+
 // Validate checks the platform for physical plausibility.
 func (p Platform) Validate() error {
 	if p.ADCBits < 1 || p.ADCBits > 24 {

@@ -126,3 +126,51 @@ func TestShimmerMagnitudes(t *testing.T) {
 		t.Errorf("memory power %v implausibly high", units.Watts(mem))
 	}
 }
+
+// TestCatalog pins the catalog contract the scenario families build on:
+// every shipped platform validates, names are unique, and ByName resolves
+// exactly the catalog.
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 5 {
+		t.Fatalf("catalog has %d platforms, want at least 5 (chipset sweeps need variety)", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, p := range cat {
+		if err := p.Validate(); err != nil {
+			t.Errorf("catalog platform %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate catalog platform name %q", p.Name)
+		}
+		seen[p.Name] = true
+		got, ok := ByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Errorf("ByName(%q) failed", p.Name)
+		}
+	}
+	if _, ok := ByName("no-such-mote"); ok {
+		t.Error("ByName resolved an unknown platform")
+	}
+	names := Names()
+	if len(names) != len(cat) {
+		t.Fatalf("Names() has %d entries for %d platforms", len(names), len(cat))
+	}
+}
+
+// TestChipsetCoefficientsDiffer guards against a copy-paste catalog: the
+// chipset comparison is only meaningful if the per-cycle µC energies and
+// radio chips actually differ across platforms.
+func TestChipsetCoefficientsDiffer(t *testing.T) {
+	micaz, z1 := MicaZ(), Z1()
+	if micaz.Micro.Alpha1 <= z1.Micro.Alpha1 {
+		t.Errorf("AVR per-cycle energy (%g) should exceed MSP430F2xx (%g)",
+			micaz.Micro.Alpha1, z1.Micro.Alpha1)
+	}
+	if IRIS().Radio.Name == MicaZ().Radio.Name {
+		t.Error("IRIS should carry an AT86RF230-class radio, not the MicaZ's CC2420")
+	}
+	if MicaZ().Memory.SizeBytes >= Shimmer().Memory.SizeBytes {
+		t.Errorf("MicaZ's 4 kB SRAM should be smaller than the Shimmer's 10 kB")
+	}
+}

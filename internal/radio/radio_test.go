@@ -104,3 +104,29 @@ func TestPowerOrdering(t *testing.T) {
 		t.Error("ramp-up costs must be positive for a realistic chip")
 	}
 }
+
+func TestAT86RF230(t *testing.T) {
+	c := DefaultAT86RF230()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default AT86RF230 invalid: %v", err)
+	}
+	if c.OutputDBm != 3 {
+		t.Errorf("default output %d dBm, want +3", c.OutputDBm)
+	}
+	// The RF230's headline trade-off vs the CC2420: cheaper receive bits,
+	// near-zero sleep draw, slower wake-up ramp.
+	cc := DefaultCC2420()
+	if c.EnergyPerBitRx() >= cc.EnergyPerBitRx() {
+		t.Errorf("RF230 per-bit RX (%v) should undercut CC2420 (%v)",
+			c.EnergyPerBitRx(), cc.EnergyPerBitRx())
+	}
+	if c.SleepPower >= cc.SleepPower {
+		t.Errorf("RF230 sleep (%v) should undercut CC2420 (%v)", c.SleepPower, cc.SleepPower)
+	}
+	if c.RampUpTime <= cc.RampUpTime {
+		t.Errorf("RF230 ramp (%v) should exceed CC2420 (%v)", c.RampUpTime, cc.RampUpTime)
+	}
+	if _, err := AT86RF230(7); err == nil {
+		t.Error("unsupported output level accepted")
+	}
+}

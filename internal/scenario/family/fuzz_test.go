@@ -1,0 +1,80 @@
+package family
+
+import (
+	"testing"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/scenario"
+	"wsndse/internal/scenario/xcheck"
+)
+
+// FuzzFamilyScenario drives the family machinery with arbitrary bytes:
+// FromBytes must decode every input into a valid member (modular indexing,
+// no rejection), the member must survive a registry round-trip with its
+// fingerprint intact, and the model, the compiled pipeline and the
+// simulator must agree on it within the cross-validation tolerance. The
+// committed corpus under testdata/fuzz seeds one member per family plus
+// boundary encodings; `go test -fuzz=FuzzFamilyScenario` explores from
+// there.
+func FuzzFamilyScenario(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 4, 3, 1, 1, 1}) // chipset-sweep far corner
+	f.Add([]byte{1, 3, 2, 1, 1})    // mobile-relay far corner
+	f.Add([]byte{255, 255, 255, 255, 255, 255})
+	f.Add([]byte{2, 17, 91, 200, 5, 33, 7})
+
+	cal := casestudy.DefaultCalibration()
+	tol := xcheck.DefaultTolerance()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fam, v, s, err := FromBytes(data)
+		if err != nil {
+			t.Fatalf("FromBytes(%v): %v", data, err)
+		}
+		if got := fam.MemberName(v); s.Name != got {
+			t.Fatalf("decoded scenario named %q, coordinate says %q", s.Name, got)
+		}
+
+		// Mirror Enable's registration invariant: only members with a
+		// feasible configuration may register. Tests may register
+		// infeasible-by-design control families, and FromBytes can land
+		// on their members — those have nothing to cross-check.
+		p, err := scenario.NewProblem(s, cal)
+		if err != nil {
+			t.Fatalf("problem for %s: %v", s.Name, err)
+		}
+		cfg, err := p.FeasibleConfig()
+		if err != nil {
+			t.Skip("member has no feasible configuration")
+		}
+
+		// Registry fingerprint round-trip. Different fuzz inputs decode to
+		// the same member, so the name may already be registered — then
+		// the stored fingerprint must match this build exactly.
+		fp := s.Fingerprint()
+		if existing, ok := scenario.Lookup(s.Name); ok {
+			if existing.Fingerprint() != fp {
+				t.Fatalf("member %s: registered fingerprint %.12s != rebuilt %.12s",
+					s.Name, existing.Fingerprint(), fp)
+			}
+		} else if err := scenario.Register(s); err != nil {
+			t.Fatalf("registering %s: %v", s.Name, err)
+		}
+		stored, ok := scenario.Lookup(s.Name)
+		if !ok || stored.Fingerprint() != fp {
+			t.Fatalf("member %s: fingerprint did not survive the registry round-trip", s.Name)
+		}
+
+		// Model ≡ simulator at the member's deterministic feasible point.
+		rep, err := xcheck.Check(p, cfg, tol)
+		if err != nil {
+			t.Fatalf("cross-checking %s: %v", s.Name, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"testing"
+
+	"wsndse/internal/sim"
+)
+
+// TestFingerprintStability pins that a fingerprint is a pure function of
+// scenario content: rebuilding the same scenario yields the same hash, and
+// the registry's deep clones preserve it (the Lookup-after-Register
+// round-trip the family generators rely on).
+func TestFingerprintStability(t *testing.T) {
+	a, b := ECGWard(), ECGWard()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("two builds of the same scenario fingerprint differently")
+	}
+	if got, ok := Lookup("ecg-ward"); !ok || got.Fingerprint() != a.Fingerprint() {
+		t.Fatal("registry round-trip changed the fingerprint")
+	}
+	if a.clone().Fingerprint() != a.Fingerprint() {
+		t.Fatal("clone changed the fingerprint")
+	}
+}
+
+// TestFingerprintSensitivity checks that every semantic field class moves
+// the hash: MAC axes, node knobs, platform coefficients, traffic, link
+// schedules — while pure labels (Name, Description, Stress) do not.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := ECGWard()
+	ref := base.Fingerprint()
+
+	mutations := map[string]func(*Scenario){
+		"beacon orders": func(s *Scenario) { s.BeaconOrders[0]++ },
+		"payload axis":  func(s *Scenario) { s.Payloads = s.Payloads[:len(s.Payloads)-1] },
+		"theta":         func(s *Scenario) { s.Theta += 0.25 },
+		"sim seed":      func(s *Scenario) { s.SimSeed++ },
+		"sim duration":  func(s *Scenario) { s.SimDuration *= 2 },
+		"traffic":       func(s *Scenario) { s.Traffic.PacketErrorRate = 0.01 },
+		"node CR grid":  func(s *Scenario) { s.Nodes[0].CRs[0] += 1e-9 },
+		"node payload":  func(s *Scenario) { s.Nodes[1].PayloadBytes = 32 },
+		"platform coefficient": func(s *Scenario) {
+			s.Nodes[0].Platform.Micro.Alpha1 *= 1.000001
+		},
+		"radio chip": func(s *Scenario) {
+			s.Nodes[0].Platform.Radio.TxPower *= 1.01
+		},
+		"link schedule": func(s *Scenario) {
+			s.Nodes[0].Link = []sim.LinkPhase{{Start: 10, PER: 0.2}}
+		},
+		"node order": func(s *Scenario) {
+			s.Nodes[0], s.Nodes[1] = s.Nodes[1], s.Nodes[0]
+		},
+	}
+	for name, mutate := range mutations {
+		s := base.clone()
+		mutate(&s)
+		if s.Fingerprint() == ref {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+
+	labels := base.clone()
+	labels.Name = "renamed"
+	labels.Description = "other words"
+	labels.Stress = "different stress"
+	if labels.Fingerprint() != ref {
+		t.Error("labels (Name/Description/Stress) must not affect the fingerprint")
+	}
+}

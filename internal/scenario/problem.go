@@ -184,6 +184,7 @@ func (p *Problem) SimConfig(params Params, duration units.Seconds, seed int64) (
 			Slots:        sim.SlotsFor(sf, payload, float64(n.OutputRate())),
 			PayloadBytes: sc.Nodes[i].PayloadBytes,
 			Arrival:      sc.Nodes[i].Arrival,
+			Link:         append([]sim.LinkPhase(nil), sc.Nodes[i].Link...),
 		}
 	}
 	return sim.Config{
@@ -244,30 +245,40 @@ func (p *Problem) NominalConfig() dse.Config {
 // feasibleScanBudget bounds the random scan of FeasibleParams.
 const feasibleScanBudget = 20000
 
-// FeasibleParams returns a deterministic feasible configuration of the
-// scenario: the nominal mid-grid point when the model accepts it, else the
-// first feasible point of a seeded random scan. Scenarios engineered to be
-// wholly infeasible (a DenseGTS past the slot budget) return an error.
-func (p *Problem) FeasibleParams() (Params, error) {
+// FeasibleConfig returns a deterministic feasible gene configuration of
+// the scenario: the nominal mid-grid point when the model accepts it, else
+// the first feasible point of a seeded random scan. Scenarios engineered
+// to be wholly infeasible (a DenseGTS past the slot budget) return an
+// error.
+func (p *Problem) FeasibleConfig() (dse.Config, error) {
 	eval := p.Evaluator()
-	try := func(c dse.Config) (Params, bool) {
+	ok := func(c dse.Config) bool {
 		if _, err := eval.Evaluate(c); err != nil {
-			return Params{}, false
+			return false
 		}
-		params, err := p.Decode(c)
-		return params, err == nil
+		_, err := p.Decode(c)
+		return err == nil
 	}
-	if params, ok := try(p.NominalConfig()); ok {
-		return params, nil
+	if c := p.NominalConfig(); ok(c) {
+		return c, nil
 	}
 	rng := rand.New(rand.NewSource(p.Scenario.SimSeed))
 	for i := 0; i < feasibleScanBudget; i++ {
-		if params, ok := try(p.space.Random(rng)); ok {
-			return params, nil
+		if c := p.space.Random(rng); ok(c) {
+			return append(dse.Config(nil), c...), nil
 		}
 	}
-	return Params{}, fmt.Errorf("scenario %q: no feasible configuration in nominal point + %d samples",
+	return nil, fmt.Errorf("scenario %q: no feasible configuration in nominal point + %d samples",
 		p.Scenario.Name, feasibleScanBudget)
+}
+
+// FeasibleParams is FeasibleConfig decoded to explicit per-node parameters.
+func (p *Problem) FeasibleParams() (Params, error) {
+	c, err := p.FeasibleConfig()
+	if err != nil {
+		return Params{}, err
+	}
+	return p.Decode(c)
 }
 
 func intsToFloats(xs []int) []float64 {

@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"reflect"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -65,5 +67,71 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 	s, _ := Lookup("ecg-ward")
 	if s.BeaconOrders[0] == -99 || s.Nodes[0].CRs[0] == -1 {
 		t.Fatal("registry state corrupted by mutating a looked-up clone")
+	}
+}
+
+// TestListOrderDeterministic pins the List ordering contract the family
+// generators and the service API lean on: no matter how many goroutines
+// race to register (here, 200 scenarios from 8 goroutines in shuffled
+// slices), every List call returns the full population sorted by name —
+// byte-wise ascending, duplicate-free, and identical call to call.
+func TestListOrderDeterministic(t *testing.T) {
+	base, ok := Lookup("ecg-ward")
+	if !ok {
+		t.Fatal("ecg-ward not registered")
+	}
+	const goroutines, perGoroutine = 8, 25 // 200 registrations total
+	names := make([]string, 0, goroutines*perGoroutine)
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perGoroutine; i++ {
+			// Mixed prefixes so insertion order and sorted order disagree.
+			names = append(names, fmt.Sprintf("order-test/%c%02d-%d", 'a'+byte(i%7), i, g))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks its slice back to front so concurrent
+			// interleavings never resemble sorted order.
+			for i := perGoroutine - 1; i >= 0; i-- {
+				s := base
+				s.Name = names[g*perGoroutine+i]
+				if err := Register(s); err != nil {
+					t.Errorf("Register(%s): %v", s.Name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	listNames := func() []string {
+		out := make([]string, 0, len(names))
+		for _, s := range List() {
+			out = append(out, s.Name)
+		}
+		return out
+	}
+	first := listNames()
+	if !sort.StringsAreSorted(first) {
+		t.Fatal("List() is not sorted by name")
+	}
+	seen := map[string]bool{}
+	for _, n := range first {
+		if seen[n] {
+			t.Fatalf("List() returned %q twice", n)
+		}
+		seen[n] = true
+	}
+	for _, n := range names {
+		if !seen[n] {
+			t.Fatalf("registered scenario %q missing from List()", n)
+		}
+	}
+	if again := listNames(); !reflect.DeepEqual(first, again) {
+		t.Fatal("two List() calls disagree on order")
 	}
 }

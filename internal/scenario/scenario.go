@@ -52,6 +52,12 @@ type NodeSpec struct {
 	// Arrival overrides the scenario's traffic model for this node
 	// (sim.ArrivalDefault inherits it).
 	Arrival sim.ArrivalModel
+	// Link is the node's time-varying link schedule (mobility): the
+	// simulator switches the node's frame loss probability at each
+	// phase's start. Empty means the scenario's PacketErrorRate holds
+	// for the whole run. The analytical model has no notion of loss, so
+	// cross-validation harnesses compare with the schedule suppressed.
+	Link []sim.LinkPhase
 }
 
 // microFreqs resolves the node's explorable frequency grid.
@@ -124,6 +130,7 @@ func (s Scenario) clone() Scenario {
 		ns.CRs = append([]float64(nil), ns.CRs...)
 		ns.MicroFreqs = append([]units.Hertz(nil), ns.MicroFreqs...)
 		ns.Platform.MicroFreqs = append([]units.Hertz(nil), ns.Platform.MicroFreqs...)
+		ns.Link = append([]sim.LinkPhase(nil), ns.Link...)
 		out.Nodes[i] = ns
 	}
 	out.BeaconOrders = append([]int(nil), s.BeaconOrders...)
@@ -173,6 +180,9 @@ func (s Scenario) Validate() error {
 		if ns.PayloadBytes < 0 || ns.PayloadBytes > ieee.MaxDataPayload {
 			return fmt.Errorf("scenario %q: node %s payload override %d out of range [0,%d]",
 				s.Name, ns.Name, ns.PayloadBytes, ieee.MaxDataPayload)
+		}
+		if err := sim.ValidateLink(ns.Link); err != nil {
+			return fmt.Errorf("scenario %q: node %s: %w", s.Name, ns.Name, err)
 		}
 		if err := ns.Platform.Validate(); err != nil {
 			return fmt.Errorf("scenario %q: node %s: %w", s.Name, ns.Name, err)

@@ -1,0 +1,150 @@
+package xcheck
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/scenario"
+	"wsndse/internal/scenario/family"
+)
+
+func enableFamilies(t testing.TB) {
+	t.Helper()
+	if _, err := family.EnableAll(); err != nil {
+		t.Fatalf("enabling families: %v", err)
+	}
+}
+
+// sweepSeed is the committed seed of the per-PR sample. The nightly job
+// overrides it (XCHECK_SEED) so successive runs walk different samples.
+const sweepSeed = 20260807
+
+// TestSweepSampledPopulation is the cross-validation acceptance gate: a
+// 100-scenario seeded sample of the generated population (plus the
+// hand-written builtins) must agree between the compiled pipeline, the
+// reference model and the simulator within DefaultTolerance. With
+// XCHECK_FULL=1 (the nightly job) it sweeps every registered scenario
+// instead, and XCHECK_SEED re-seeds the sample.
+func TestSweepSampledPopulation(t *testing.T) {
+	enableFamilies(t)
+	cfg := SweepConfig{Sample: 100, Seed: sweepSeed, Tol: DefaultTolerance()}
+	if os.Getenv("XCHECK_FULL") != "" {
+		cfg.Sample = 0
+	}
+	if env := os.Getenv("XCHECK_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("XCHECK_SEED=%q: %v", env, err)
+		}
+		cfg.Seed = seed
+	}
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("xcheck sweep: seed=%d checked=%d failed=%d maxEnergyErr=%.2f%% maxDelay=%.1f%% of bound",
+		cfg.Seed, res.Checked, res.Failed, res.MaxEnergyErrPct, res.MaxDelayPct)
+	if res.Checked < 100 {
+		t.Fatalf("sweep checked %d scenarios, want ≥ 100", res.Checked)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckMembersOfEachFamily pins one deterministic member per family
+// end to end (cheap enough to diagnose a single failure without the
+// sweep's fan-out).
+func TestCheckMembersOfEachFamily(t *testing.T) {
+	enableFamilies(t)
+	cal := casestudy.DefaultCalibration()
+	for _, f := range family.List() {
+		v := f.Members()[0]
+		sc, ok := scenario.Lookup(f.MemberName(v))
+		if !ok {
+			t.Fatalf("member %s not registered", f.MemberName(v))
+		}
+		rep, err := CheckScenario(sc, cal, DefaultTolerance())
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Error(err)
+		}
+		if rep.Fingerprint != sc.Fingerprint() {
+			t.Errorf("%s: report carries fingerprint %.12s, scenario says %.12s",
+				sc.Name, rep.Fingerprint, sc.Fingerprint())
+		}
+	}
+}
+
+// TestHarnessDetectsDisagreement is the negative control: with a
+// near-zero tolerance the harness must fail, proving it compares real
+// numbers rather than vacuously passing. (Model and simulator account for
+// idle and ramp energy slightly differently, so their agreement is close
+// but never exact — a tolerance of 10⁻⁹ % is below any honest
+// implementation pair.)
+func TestHarnessDetectsDisagreement(t *testing.T) {
+	sc, ok := scenario.Lookup("ecg-ward")
+	if !ok {
+		t.Fatal("ecg-ward not registered")
+	}
+	strict := Tolerance{EnergyRelPct: 1e-9, DelaySlackPct: 1e-9, RequireStable: true}
+	rep, err := CheckScenario(sc, casestudy.DefaultCalibration(), strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err() == nil {
+		t.Fatal("a 1e-9%% tolerance passed — the harness is not comparing anything")
+	}
+	if rep.EnergyErrPct <= 0 {
+		t.Fatalf("energy error %.3g%% — model and sim cannot agree exactly", rep.EnergyErrPct)
+	}
+}
+
+// TestEnvelopeNormalization pins what the validity envelope strips: block
+// arrivals, channel loss and link schedules all reset to the model's
+// assumptions, everything else untouched.
+func TestEnvelopeNormalization(t *testing.T) {
+	enableFamilies(t)
+	sc, ok := scenario.Lookup("mobile-relay/n4-roundtrip-fast-shimmer")
+	if !ok {
+		t.Fatal("mobile-relay member not registered")
+	}
+	p, err := scenario.NewProblem(sc, casestudy.DefaultCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := p.FeasibleParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := p.DefaultSimConfig(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasLink := false
+	for _, n := range cfg.Nodes {
+		if len(n.Link) > 0 {
+			hasLink = true
+		}
+	}
+	if !hasLink {
+		t.Fatal("mobile-relay member carries no link schedule — envelope test is vacuous")
+	}
+	norm := envelope(cfg)
+	for i, n := range norm.Nodes {
+		if len(n.Link) != 0 {
+			t.Errorf("node %d kept its link schedule through the envelope", i)
+		}
+	}
+	if norm.PacketErrorRate != 0 || norm.BlockSamples != 0 {
+		t.Error("envelope kept loss or block traffic")
+	}
+	if len(norm.Nodes) != len(cfg.Nodes) || norm.Superframe != cfg.Superframe ||
+		norm.Duration != cfg.Duration || norm.Seed != cfg.Seed {
+		t.Error("envelope changed fields outside the validity assumptions")
+	}
+}

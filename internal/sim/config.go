@@ -45,6 +45,36 @@ func (a ArrivalModel) String() string {
 	}
 }
 
+// LinkPhase is one piecewise-constant segment of a node's time-varying
+// link quality: from Start onward (until the next phase) the node's frames
+// are lost i.i.d. with probability PER. A schedule of phases models
+// mobility — a relay carried across a ward sees its link to the
+// coordinator degrade and recover as distance and shadowing change —
+// without simulating radio propagation itself.
+type LinkPhase struct {
+	Start units.Seconds
+	PER   float64
+}
+
+// ValidateLink checks a link schedule: phases strictly ascending in Start,
+// starts non-negative, PERs in [0,1). Scenario validation and the sim
+// share this so an invalid schedule can never reach the engine.
+func ValidateLink(phases []LinkPhase) error {
+	for i, ph := range phases {
+		if ph.Start < 0 {
+			return fmt.Errorf("link phase %d starts at negative time %v", i, ph.Start)
+		}
+		if i > 0 && ph.Start <= phases[i-1].Start {
+			return fmt.Errorf("link phase %d start %v not after phase %d start %v",
+				i, ph.Start, i-1, phases[i-1].Start)
+		}
+		if ph.PER < 0 || ph.PER >= 1 {
+			return fmt.Errorf("link phase %d PER %g out of [0,1)", i, ph.PER)
+		}
+	}
+	return nil
+}
+
 // NodeConfig describes one simulated node. Payload and arrival overrides
 // make the star heterogeneous: a ward can mix ECG compressors shipping
 // full frames, low-rate telemetry motes on short frames, and bursty
@@ -64,6 +94,11 @@ type NodeConfig struct {
 	// Arrival overrides the traffic model for this node
 	// (ArrivalDefault inherits Config.Arrival).
 	Arrival ArrivalModel
+	// Link is the node's time-varying link schedule. Empty means the
+	// link holds Config.PacketErrorRate for the whole run; otherwise the
+	// node uses Config.PacketErrorRate before the first phase's Start
+	// and each phase's PER from its Start onward.
+	Link []LinkPhase
 }
 
 // payload resolves the node's effective frame payload.
@@ -185,6 +220,9 @@ func (c Config) Validate() error {
 		}
 		if a := n.Arrival; a != ArrivalDefault && a != ArrivalUniform && a != ArrivalBlock {
 			return fmt.Errorf("sim: node %d (%s) has unknown arrival model %v", i, n.Name, a)
+		}
+		if err := ValidateLink(n.Link); err != nil {
+			return fmt.Errorf("sim: node %d (%s): %w", i, n.Name, err)
 		}
 		if err := n.Platform.Validate(); err != nil {
 			return fmt.Errorf("sim: node %d (%s): %w", i, n.Name, err)

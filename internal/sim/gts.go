@@ -60,6 +60,10 @@ type simNode struct {
 	period     float64 // block: seconds between blocks
 	blockBytes float64 // block: bytes per block
 	carryBytes float64
+	// linkIdx is the index of the active LinkPhase; -1 before the first
+	// phase starts (the base PER applies). Simulation time is monotone,
+	// so the cursor only ever advances.
+	linkIdx int
 	// queue-length samples at each beacon, for the stability verdict
 	queueSamples []int
 }
@@ -182,6 +186,7 @@ func Run(cfg Config) (*Result, error) {
 			phiOut:  float64(nc.App.OutputRate(nc.Platform.InputRate(nc.SampleFreq))),
 			payload: nc.payload(cfg.PayloadBytes),
 			arrival: nc.arrival(cfg.Arrival),
+			linkIdx: -1,
 		}
 		n.endSlot = nextEnd
 		n.startSlot = nextEnd - nc.Slots
@@ -327,7 +332,7 @@ func (s *simulation) ackDone(n *simNode, wEnd float64) {
 	p := n.queueHead()
 	payload := p.payloadBytes
 	n.extraCycles += s.cfg.PacketProcCycles
-	delivered := s.rng.Float64() >= s.cfg.PacketErrorRate
+	delivered := s.rng.Float64() >= s.perAt(n)
 	if delivered {
 		n.delays = append(n.delays, s.eng.Now()-p.created)
 		n.packetsSent++
@@ -345,6 +350,26 @@ func (s *simulation) ackDone(n *simNode, wEnd float64) {
 	s.setRadio(n, StateIdle)
 	ifs := float64(ieee.IFS(payload + ieee.MACOverheadBytes))
 	s.eng.ScheduleAfter(ifs, evTxWindow, int32(n.idx), wEnd)
+}
+
+// perAt resolves the node's effective packet error rate at the current
+// simulation time: the base channel PER until the first link phase starts,
+// then the active phase's PER. The rng draw in ackDone happens for every
+// attempt regardless of the schedule, so an all-equal schedule is
+// bit-identical to no schedule at all.
+func (s *simulation) perAt(n *simNode) float64 {
+	link := n.cfg.Link
+	if len(link) == 0 {
+		return s.cfg.PacketErrorRate
+	}
+	now := s.eng.Now()
+	for n.linkIdx+1 < len(link) && float64(link[n.linkIdx+1].Start) <= now {
+		n.linkIdx++
+	}
+	if n.linkIdx < 0 {
+		return s.cfg.PacketErrorRate
+	}
+	return link[n.linkIdx].PER
 }
 
 // collect assembles the result at simulation end.

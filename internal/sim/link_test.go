@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"wsndse/internal/app"
+	ieee "wsndse/internal/ieee802154"
+	"wsndse/internal/platform"
+)
+
+// linkConfig builds a two-node star where the second node carries the
+// given link schedule.
+func linkConfig(link []LinkPhase) Config {
+	sf := ieee.SuperframeConfig{BeaconOrder: 3, SuperframeOrder: 2}
+	mk := func(name string, link []LinkPhase) NodeConfig {
+		return NodeConfig{
+			Name:       name,
+			Platform:   platform.Shimmer(),
+			App:        app.Passthrough{},
+			SampleFreq: 60, // φ_out = 90 B/s
+			MicroFreq:  8e6,
+			Slots:      SlotsFor(sf, 48, 90),
+			Link:       link,
+		}
+	}
+	return Config{
+		Superframe:   sf,
+		PayloadBytes: 48,
+		Nodes: []NodeConfig{
+			mk("fixed", nil),
+			mk("mobile", link),
+		},
+		Duration: 60,
+		Seed:     1,
+	}
+}
+
+// TestLinkScheduleDegradesMobileNode runs a relay that walks out of range
+// mid-run: a clean link, then a heavily lossy phase, then recovery. Only
+// the scheduled node should see retries, and it must deliver fewer frames
+// than its clean twin.
+func TestLinkScheduleDegradesMobileNode(t *testing.T) {
+	lossy := []LinkPhase{
+		{Start: 0, PER: 0},
+		{Start: 20, PER: 0.6},
+		{Start: 40, PER: 0},
+	}
+	res, err := Run(linkConfig(lossy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, mobile := res.Nodes[0], res.Nodes[1]
+	if fixed.Retries != 0 || fixed.PacketsDropped != 0 {
+		t.Errorf("clean node saw %d retries, %d drops", fixed.Retries, fixed.PacketsDropped)
+	}
+	if mobile.Retries == 0 {
+		t.Error("mobile node crossed a 60% loss phase without a single retry")
+	}
+	if mobile.PacketsSent >= fixed.PacketsSent {
+		t.Errorf("mobile delivered %d frames, clean twin %d — loss phase should cost deliveries",
+			mobile.PacketsSent, fixed.PacketsSent)
+	}
+
+	clean, err := Run(linkConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Nodes[1].PacketsSent != fixed.PacketsSent {
+		t.Errorf("unscheduled twin delivered %d, expected %d",
+			clean.Nodes[1].PacketsSent, fixed.PacketsSent)
+	}
+}
+
+// TestAllZeroLinkScheduleIsIdentity pins the determinism contract: a
+// schedule whose every phase matches the base PER consumes the rng
+// identically, so results are bit-identical to running with no schedule.
+func TestAllZeroLinkScheduleIsIdentity(t *testing.T) {
+	with, err := Run(linkConfig([]LinkPhase{{Start: 0, PER: 0}, {Start: 30, PER: 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(linkConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(with, without) {
+		t.Fatal("all-zero link schedule changed the simulation result")
+	}
+}
+
+// TestLinkBaseBeforeFirstPhase documents the pre-phase semantics: until
+// the first phase starts the node runs at the config-level PER.
+func TestLinkBaseBeforeFirstPhase(t *testing.T) {
+	cfg := linkConfig([]LinkPhase{{Start: 1e6, PER: 0.9}}) // never reached
+	cfg.PacketErrorRate = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes[1].Retries != 0 {
+		t.Errorf("phase beyond the run's end caused %d retries", res.Nodes[1].Retries)
+	}
+}
+
+func TestValidateLink(t *testing.T) {
+	cases := []struct {
+		name string
+		link []LinkPhase
+		want string // "" means valid
+	}{
+		{"empty", nil, ""},
+		{"single", []LinkPhase{{Start: 0, PER: 0.1}}, ""},
+		{"ascending", []LinkPhase{{Start: 0, PER: 0}, {Start: 5, PER: 0.5}}, ""},
+		{"negative start", []LinkPhase{{Start: -1, PER: 0}}, "negative time"},
+		{"non-ascending", []LinkPhase{{Start: 5, PER: 0}, {Start: 5, PER: 0.1}}, "not after"},
+		{"PER at 1", []LinkPhase{{Start: 0, PER: 1}}, "out of [0,1)"},
+		{"negative PER", []LinkPhase{{Start: 0, PER: -0.1}}, "out of [0,1)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateLink(tc.link)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid schedule rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
