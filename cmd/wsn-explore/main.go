@@ -17,6 +17,12 @@
 //
 //	wsn-explore -family all -list-scenarios
 //	wsn-explore -scenario chipset-sweep/iris-n5-homo-long-uniform
+//
+// With -warm-start the search is seeded from prior fronts archived by
+// wsn-serve — either a result directory or a live server URL:
+//
+//	wsn-explore -scenario ecg-ward -warm-start /var/lib/wsndse/results
+//	wsn-explore -scenario ecg-ward -warm-start http://localhost:8080
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"time"
 
 	"wsndse/internal/baseline"
@@ -35,6 +42,7 @@ import (
 	"wsndse/internal/cliutil"
 	"wsndse/internal/dse"
 	"wsndse/internal/scenario"
+	"wsndse/internal/service"
 )
 
 func main() {
@@ -49,6 +57,7 @@ func main() {
 		gen          = flag.Int("gen", 60, "NSGA-II generations")
 		iters        = flag.Int("iters", 6000, "MOSA iterations / random-search budget")
 		seed         = flag.Int64("seed", 17, "search seed")
+		warmStart    = flag.String("warm-start", "", "seed the search from prior fronts: a wsn-serve result directory or server URL")
 		workers      = flag.Int("workers", 0, "evaluation workers (<= 0: GOMAXPROCS); fronts are identical at any count")
 		progress     = flag.Bool("progress", false, "print per-generation progress to stderr")
 		csvPath      = flag.String("csv", "", "write the front to this CSV file")
@@ -121,6 +130,37 @@ func main() {
 				float64(p.Evaluated)/time.Since(start).Seconds())
 		}
 	}
+	if *warmStart != "" {
+		if *algo != "nsga2" && *algo != "mosa" {
+			fmt.Fprintf(os.Stderr, "wsn-explore: -warm-start only seeds nsga2/mosa, ignored for %s\n", *algo)
+		} else {
+			src, closeSrc, err := openWarmStartSource(*warmStart)
+			if err != nil {
+				fail(err)
+			}
+			objNames := service.ObjectivesFull
+			if *objectives == "baseline" {
+				objNames = service.ObjectivesBaseline
+			}
+			seeds, info, err := service.ResolveWarmStart(src, service.WarmStartAuto,
+				sc.Fingerprint(), objNames, *algo, sc.Name, problem.Space())
+			closeSrc()
+			if err != nil {
+				fail(err)
+			}
+			if info == nil {
+				fmt.Println("warm start: no prior front for this scenario/objective set, running cold")
+			} else {
+				kind := "exact prior front"
+				if !info.Exact {
+					kind = "family-sibling fronts"
+				}
+				fmt.Printf("warm start: %d seed points from %s (result versions %v)\n",
+					info.SeedPoints, kind, info.Sources)
+				opts.SeedPoints = seeds
+			}
+		}
+	}
 	var res *dse.Result
 	switch *algo {
 	case "nsga2":
@@ -177,6 +217,20 @@ func main() {
 		}
 		fmt.Printf("\nfront written to %s\n", *csvPath)
 	}
+}
+
+// openWarmStartSource resolves the -warm-start flag into a prior-front
+// lookup: an http(s) URL means a running wsn-serve instance, anything
+// else a result directory previously written with `wsn-serve -results-dir`.
+func openWarmStartSource(loc string) (service.ResultLookup, func(), error) {
+	if strings.HasPrefix(loc, "http://") || strings.HasPrefix(loc, "https://") {
+		return service.NewClient(loc), func() {}, nil
+	}
+	s, err := service.NewStore(service.StoreConfig{Dir: loc})
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, func() { s.Close() }, nil
 }
 
 func listScenarios() {

@@ -5,14 +5,22 @@
 //
 // Example:
 //
-//	wsn-serve -addr 127.0.0.1:8080 -jobs 4 -checkpoint-dir /var/lib/wsn
+//	wsn-serve -addr 127.0.0.1:8080 -jobs 4 \
+//	  -checkpoint-dir /var/lib/wsn/ckpt -results-dir /var/lib/wsn/results
 //
-//	curl -s localhost:8080/v1/scenarios | jq '.[].name'
+//	curl -s localhost:8080/v1/scenarios | jq '.items[].name'
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,
 //	       "nsga2":{"population_size":32,"generations":40}}'
 //	curl -N localhost:8080/v1/jobs/j1/events
 //	curl -s localhost:8080/v1/jobs/j1/front | jq '.front | length'
+//
+// With -results-dir the archived fronts survive restarts; a follow-up
+// job can warm-start from them:
+//
+//	curl -s 'localhost:8080/v1/results?scenario=ecg-ward&limit=5' | jq '.items[].version'
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"scenario":"ecg-ward","algorithm":"nsga2","seed":8,"warm_start":"auto"}'
 //
 // SIGINT/SIGTERM shut down gracefully: running jobs are cancelled at
 // their next search boundary (flushing checkpoints first) and in-flight
@@ -41,6 +49,8 @@ func main() {
 		jobs          = flag.Int("jobs", 2, "concurrent exploration jobs")
 		queue         = flag.Int("queue", 64, "queued-job limit (submissions beyond it are rejected)")
 		checkpointDir = flag.String("checkpoint-dir", "", "persist job checkpoints to this directory")
+		resultsDir    = flag.String("results-dir", "", "persist the result store to this directory (fronts survive restarts and warm-start new jobs)")
+		maxResults    = flag.Int("max-results", 0, "result store bound before LRU eviction (0 selects the default)")
 		familySpec    = flag.String("family", "", "enable scenario families before serving: a name, comma list, or 'all'")
 	)
 	flag.Parse()
@@ -51,11 +61,19 @@ func main() {
 		fmt.Printf("wsn-serve: enabled %d generated scenarios (-family %s)\n", n, *familySpec)
 	}
 
-	m := service.New(service.Config{
+	m, err := service.New(service.Config{
 		Workers:       *jobs,
 		QueueLimit:    *queue,
 		CheckpointDir: *checkpointDir,
+		ResultDir:     *resultsDir,
+		MaxResults:    *maxResults,
 	})
+	if err != nil {
+		fail(err)
+	}
+	if *resultsDir != "" {
+		fmt.Printf("wsn-serve: result store at %s holds %d fronts\n", *resultsDir, m.Store().Len())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

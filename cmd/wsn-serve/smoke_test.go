@@ -38,8 +38,10 @@ func serveBinary(t *testing.T) string {
 	return bin
 }
 
-// startServe boots the service on a random port and returns its base URL.
-func startServe(t *testing.T, bin string, extraArgs ...string) string {
+// startServe boots the service on a random port and returns its base URL
+// plus a stop function (also registered as cleanup) so restart tests can
+// kill the process mid-test.
+func startServe(t *testing.T, bin string, extraArgs ...string) (string, func()) {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0", "-jobs", "2"}, extraArgs...)
 	cmd := exec.Command(bin, args...)
@@ -51,10 +53,11 @@ func startServe(t *testing.T, bin string, extraArgs ...string) string {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() {
+	stop := func() {
 		cmd.Process.Kill()
 		cmd.Wait()
-	})
+	}
+	t.Cleanup(stop)
 
 	// The "listening on" stdout line reports the resolved listen address.
 	scanner := bufio.NewScanner(stdout)
@@ -73,7 +76,7 @@ func startServe(t *testing.T, bin string, extraArgs ...string) string {
 		for scanner.Scan() {
 		}
 	}()
-	return base
+	return base, stop
 }
 
 // goldenFront is the canonical JSON shape the golden files pin.
@@ -87,8 +90,8 @@ type goldenFront struct {
 	} `json:"front"`
 }
 
-// runJob submits a job spec, polls it to completion and returns its front.
-func runJob(t *testing.T, base, spec string) goldenFront {
+// submitWait submits a job spec, polls it to completion and returns its ID.
+func submitWait(t *testing.T, base, spec string) string {
 	t.Helper()
 	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
 	if err != nil {
@@ -108,7 +111,7 @@ func runJob(t *testing.T, base, spec string) goldenFront {
 		}
 		decodeBody(t, resp, http.StatusOK, &job)
 		if job.Status == "done" {
-			break
+			return job.ID
 		}
 		if job.Status == "failed" || job.Status == "cancelled" {
 			t.Fatalf("job ended %s", job.Status)
@@ -118,8 +121,12 @@ func runJob(t *testing.T, base, spec string) goldenFront {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
 
-	resp, err = http.Get(base + "/v1/jobs/" + job.ID + "/front")
+// fetchFront reads a finished job's front.
+func fetchFront(t *testing.T, base, id string) goldenFront {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/front")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,6 +136,12 @@ func runJob(t *testing.T, base, spec string) goldenFront {
 		t.Fatal("empty front")
 	}
 	return front
+}
+
+// runJob submits a job spec, polls it to completion and returns its front.
+func runJob(t *testing.T, base, spec string) goldenFront {
+	t.Helper()
+	return fetchFront(t, base, submitWait(t, base, spec))
 }
 
 // checkGolden diffs a front against its committed golden file (canonical
@@ -166,8 +179,64 @@ func checkGolden(t *testing.T, front goldenFront, name string) {
 // file — the end-to-end determinism gate for the whole service stack as
 // actually deployed.
 func TestServeSmoke(t *testing.T) {
-	base := startServe(t, serveBinary(t))
+	base, _ := startServe(t, serveBinary(t))
 	checkGolden(t, runJob(t, base, smokeSpec), "smoke-front.json")
+}
+
+// TestServeWarmRestartSmoke is the persistence + warm-start gate over the
+// deployed binary: run a job with a result directory, kill the process,
+// boot a fresh one on the same directory, verify the archived front is
+// still served by /v1/results, then submit a warm_start:auto job with a
+// different seed and check it was actually seeded from the prior front —
+// with its own golden, since seeding changes the trajectory.
+func TestServeWarmRestartSmoke(t *testing.T) {
+	bin := serveBinary(t)
+	dir := t.TempDir()
+	base, stop := startServe(t, bin, "-results-dir", dir)
+	checkGolden(t, runJob(t, base, smokeSpec), "smoke-front.json")
+	stop()
+
+	base, _ = startServe(t, bin, "-results-dir", dir)
+	resp, err := http.Get(base + "/v1/results?scenario=ecg-ward&algorithm=nsga2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Total int `json:"total"`
+		Items []struct {
+			Version int               `json:"version"`
+			Front   []json.RawMessage `json:"front"`
+		} `json:"items"`
+	}
+	decodeBody(t, resp, http.StatusOK, &page)
+	if page.Total != 1 || len(page.Items) != 1 || len(page.Items[0].Front) == 0 {
+		t.Fatalf("restarted server lost the archived front: %+v", page)
+	}
+
+	warmSpec := `{"scenario":"ecg-ward","algorithm":"nsga2","seed":21,"workers":2,"warm_start":"auto",
+  "nsga2":{"population_size":16,"generations":12}}`
+	id := submitWait(t, base, warmSpec)
+	resp, err = http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		WarmStart *struct {
+			Mode       string `json:"mode"`
+			SeedPoints int    `json:"seed_points"`
+			Exact      bool   `json:"exact"`
+			Sources    []int  `json:"sources"`
+		} `json:"warm_start"`
+	}
+	decodeBody(t, resp, http.StatusOK, &info)
+	ws := info.WarmStart
+	if ws == nil || ws.Mode != "auto" || !ws.Exact || ws.SeedPoints == 0 {
+		t.Fatalf("warm job was not seeded from the restarted store: %+v", ws)
+	}
+	if len(ws.Sources) != 1 || ws.Sources[0] != page.Items[0].Version {
+		t.Fatalf("warm sources %v, want [%d]", ws.Sources, page.Items[0].Version)
+	}
+	checkGolden(t, fetchFront(t, base, id), "smoke-front-warm.json")
 }
 
 // TestServeFamilySmoke is the same gate over the generated population: the
@@ -177,7 +246,7 @@ func TestServeSmoke(t *testing.T) {
 // derivation) shows up as a golden diff here rather than as a silent
 // change in served results.
 func TestServeFamilySmoke(t *testing.T) {
-	base := startServe(t, serveBinary(t), "-family", "all")
+	base, _ := startServe(t, serveBinary(t), "-family", "all")
 	jobs := []struct {
 		scenario, golden string
 	}{

@@ -25,7 +25,10 @@ import (
 func main() {
 	// 1. Boot the service: a 2-worker job manager behind the HTTP API on a
 	// random loopback port (this is everything wsn-serve does).
-	manager := service.New(service.Config{Workers: 2})
+	manager, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer manager.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -133,11 +136,34 @@ func main() {
 	fmt.Printf("\nresumed %s from the generation-%d checkpoint: front bit-identical = %v\n",
 		resumedJob.ID, snap.Step, match)
 
-	// 7. The versioned store keeps every finished front queryable.
-	results, err := client.Results(ctx, "ecg-ward", service.AlgoNSGA2)
+	// 7. The versioned store keeps every finished front queryable,
+	// newest-first and paginated.
+	results, err := client.ResultsPage(ctx, service.ResultQuery{
+		Scenario: "ecg-ward", Algorithm: service.AlgoNSGA2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("result store now holds %d ecg-ward/nsga2 fronts (latest version %d)\n",
-		len(results), results[len(results)-1].Version)
+		results.Total, results.Items[0].Version)
+
+	// 8. Warm start: a new seed exploring the same ward can seed its
+	// initial population from the stored fronts instead of starting from
+	// random draws — warm_start "auto" resolves the scenario's content
+	// key against the store.
+	warmSpec := spec
+	warmSpec.Seed, warmSpec.Resume, warmSpec.CheckpointEvery = 18, nil, 0
+	warmSpec.WarmStart = service.WarmStartAuto
+	warmJob, err := client.Submit(ctx, warmSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warmFinal, err := client.Wait(ctx, warmJob.ID, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ws := warmFinal.WarmStart; ws != nil {
+		fmt.Printf("warm-started %s from store versions %v: %d seed points (exact content match: %v)\n",
+			warmJob.ID, ws.Sources, ws.SeedPoints, ws.Exact)
+	}
 }

@@ -146,8 +146,12 @@ func MOSAOpts(space *Space, eval Evaluator, cfg MOSAConfig, opts Options) (*Resu
 		startSeg = opts.Resume.Step
 		baseEval, baseInf = opts.Resume.Evaluated, opts.Resume.Infeasible
 	} else {
+		seeds := opts.validSeeds(space, cfg.Restarts)
 		for ch := range chains {
 			chains[ch] = newMOSAChain(space, cfg, ch)
+			if ch < len(seeds) {
+				chains[ch].start = seeds[ch].Clone()
+			}
 		}
 	}
 
@@ -193,6 +197,7 @@ type mosaChain struct {
 	src     *splitMix64
 	cfg     MOSAConfig
 	buf     Config
+	start   Config // warm-start point; nil draws the start uniformly
 	cur     Point
 	curE    float64
 	temp    float64
@@ -233,7 +238,11 @@ func (c *mosaChain) energy(p Point) float64 {
 // would.
 func (c *mosaChain) run(space *Space, pe *ParallelEvaluator, w, upTo int) {
 	if !c.started {
-		space.RandomInto(c.rng, c.buf)
+		if c.start != nil {
+			copy(c.buf, c.start)
+		} else {
+			space.RandomInto(c.rng, c.buf)
+		}
 		c.cur = pe.evalFor(w, c.buf)
 		c.arch.Add(c.cur)
 		c.curE = c.energy(c.cur)

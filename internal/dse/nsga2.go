@@ -123,7 +123,11 @@ func NSGA2Opts(space *Space, eval Evaluator, cfg NSGA2Config, opts Options) (*Re
 		// resumed run's totals are snapshot counts plus fresh evaluations.
 		baseEval, baseInf = opts.Resume.Evaluated, opts.Resume.Infeasible
 	} else {
-		r.seed(rng, &arch)
+		// Seeds fill at most half the initial population: transferred
+		// fronts are often as large as the population itself, and letting
+		// them displace every random individual kills the exploration that
+		// finds regions the donor never reached.
+		r.seed(rng, &arch, opts.validSeeds(space, (cfg.PopulationSize+1)/2))
 	}
 	result := func() *Result {
 		evaluated, infeasible := pe.Stats()
@@ -233,10 +237,17 @@ func newNSGA2Run(space *Space, pe *ParallelEvaluator, cfg NSGA2Config) *nsga2Run
 	return r
 }
 
-// seed draws and evaluates the initial population and ranks it for the
-// first generation's tournaments.
-func (r *nsga2Run) seed(rng *rand.Rand, arch *Archive) {
-	for i := range r.children {
+// seed builds and evaluates the initial population and ranks it for the
+// first generation's tournaments. seeds (already validated and deduped,
+// at most half of PopulationSize) fill the leading slots; the remainder
+// is drawn uniformly. Seeded slots consume no RNG draws, so the unseeded
+// tail — and with an empty seed list the whole run — matches the plain
+// entry point draw for draw.
+func (r *nsga2Run) seed(rng *rand.Rand, arch *Archive, seeds []Config) {
+	for i, s := range seeds {
+		copy(r.children[i], s)
+	}
+	for i := len(seeds); i < len(r.children); i++ {
 		r.space.RandomInto(rng, r.children[i])
 	}
 	r.pop = r.pe.EvaluateBatchInto(r.children, r.pop)

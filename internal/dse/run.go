@@ -63,6 +63,53 @@ type Options struct {
 	// neither population nor archive may be re-evaluated (and re-counted)
 	// after resume, so the count is an upper bound on distinct points.
 	Resume *Snapshot
+
+	// SeedPoints warm-starts the search from prior knowledge: NSGA-II
+	// injects them (deduplicated, in order) into at most half of the
+	// initial population before random fill — random exploration is never
+	// fully displaced — and MOSA starts chain i from SeedPoints[i] when
+	// one is available. Configurations that do not index the space (wrong
+	// gene count, out-of-range index — e.g. a front transferred from a
+	// sibling scenario with a different design space) are skipped, never
+	// an error. Exhaustive and random search ignore seeds. Determinism is
+	// unchanged: the trajectory is a pure function of (seed list, Seed),
+	// and an empty list is bit-identical to the unseeded entry point.
+	// Resume takes precedence: a resumed run ignores SeedPoints, since the
+	// snapshot already fixes the whole trajectory.
+	SeedPoints []Config
+}
+
+// validSeeds filters SeedPoints down to configurations that index the
+// space, dropping duplicates while preserving first-seen order, and caps
+// the list at max (<= 0: no cap). When the cap bites, survivors are
+// stride-sampled across the whole list rather than truncated: seed lists
+// are typically transferred Pareto fronts ordered along the tradeoff
+// curve, and a prefix would seed only one end of it.
+func (o Options) validSeeds(space *Space, max int) []Config {
+	if len(o.SeedPoints) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(o.SeedPoints))
+	out := make([]Config, 0, len(o.SeedPoints))
+	for _, c := range o.SeedPoints {
+		if !space.Valid(c) {
+			continue
+		}
+		k := c.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, c)
+	}
+	if max > 0 && len(out) > max {
+		sampled := make([]Config, max)
+		for i := range sampled {
+			sampled[i] = out[i*len(out)/max]
+		}
+		out = sampled
+	}
+	return out
 }
 
 // boundary is the shared per-boundary bookkeeping: emit progress, write a

@@ -197,7 +197,7 @@ func TestNSGA2GenerationSteadyStateZeroAllocs(t *testing.T) {
 	var arch Archive
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	r := newNSGA2Run(s, pe, cfg)
-	r.seed(rng, &arch)
+	r.seed(rng, &arch, nil)
 	for gen := 0; gen < 30; gen++ { // saturate the 18-point memo cache
 		r.generation(rng, &arch)
 	}

@@ -18,7 +18,7 @@ import (
 func BenchmarkServiceThroughput(b *testing.B) {
 	for _, workers := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("jobs%d", workers), func(b *testing.B) {
-			m := New(Config{Workers: workers, QueueLimit: workers * 4})
+			m := newTestManager(b, Config{Workers: workers, QueueLimit: workers * 4})
 			defer m.Close()
 			ctx := context.Background()
 			start := time.Now()

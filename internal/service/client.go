@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"wsndse/internal/dse"
@@ -34,14 +35,58 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError is the wire form of a server-side error.
-type apiError struct {
-	Error string `json:"error"`
+// APIError is a non-2xx response from the server, carrying the
+// machine-readable code from the v1 error envelope. Branch on Code (the
+// Code* constants) with errors.As:
+//
+//	var apiErr *service.APIError
+//	if errors.As(err, &apiErr) && apiErr.Code == service.CodeQueueFull { backoff() }
+type APIError struct {
+	// StatusCode is the HTTP status of the response.
+	StatusCode int
+	// Code is the machine-readable error code (CodeNotFound, ...); empty
+	// if the server predates the structured envelope.
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("service: %s: %s (HTTP %d)", e.Code, e.Message, e.StatusCode)
+	}
+	if e.Message != "" {
+		return fmt.Sprintf("service: %s (HTTP %d)", e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("service: HTTP %d", e.StatusCode)
+}
+
+// decodeAPIError turns a non-2xx response body into an *APIError,
+// accepting both the structured envelope and the legacy flat
+// {"error": "..."} shape (an old server behind a new client).
+func decodeAPIError(statusCode int, body io.Reader) *APIError {
+	var wire struct {
+		Error json.RawMessage `json:"error"`
+	}
+	ae := &APIError{StatusCode: statusCode}
+	if json.NewDecoder(body).Decode(&wire) != nil || len(wire.Error) == 0 {
+		return ae
+	}
+	var eb errorBody
+	if json.Unmarshal(wire.Error, &eb) == nil && eb.Message != "" {
+		ae.Code, ae.Message = eb.Code, eb.Message
+		return ae
+	}
+	var flat string
+	if json.Unmarshal(wire.Error, &flat) == nil {
+		ae.Message = flat
+	}
+	return ae
 }
 
 // do issues the request and decodes the JSON response into out (skipped
-// when out is nil). Non-2xx responses come back as errors carrying the
-// server's message.
+// when out is nil). Non-2xx responses come back as a wrapped *APIError
+// (reach it with errors.As).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
@@ -64,16 +109,40 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		var ae apiError
-		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return fmt.Errorf("%s %s: %w", method, path, decodeAPIError(resp.StatusCode, resp.Body))
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// pageParams encodes limit/offset into q (omitting zero values).
+func pageParams(q url.Values, limit, offset int) {
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if offset > 0 {
+		q.Set("offset", strconv.Itoa(offset))
+	}
+}
+
+// collectPages drains a paged endpoint: fetch is called with a growing
+// offset until the reported total is reached.
+func collectPages[T any](fetch func(limit, offset int) (Page[T], error)) ([]T, error) {
+	var all []T
+	offset := 0
+	for {
+		page, err := fetch(MaxPageLimit, offset)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Items...)
+		offset += len(page.Items)
+		if offset >= page.Total || len(page.Items) == 0 {
+			return all, nil
+		}
+	}
 }
 
 // Submit posts a job spec and returns the queued job.
@@ -90,11 +159,25 @@ func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
 	return info, err
 }
 
-// Jobs lists every job.
+// JobsPage fetches one window of the job list (limit <= 0 selects the
+// server default).
+func (c *Client) JobsPage(ctx context.Context, limit, offset int) (Page[JobInfo], error) {
+	q := url.Values{}
+	pageParams(q, limit, offset)
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page Page[JobInfo]
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// Jobs lists every job, draining pagination.
 func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
-	var infos []JobInfo
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &infos)
-	return infos, err
+	return collectPages(func(limit, offset int) (Page[JobInfo], error) {
+		return c.JobsPage(ctx, limit, offset)
+	})
 }
 
 // Cancel requests cooperative cancellation.
@@ -120,29 +203,82 @@ func (c *Client) Checkpoint(ctx context.Context, id string) (*dse.Snapshot, erro
 	return snap, err
 }
 
-// Scenarios lists the registered workloads.
-func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
-	var infos []ScenarioInfo
-	err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &infos)
-	return infos, err
+// ScenariosPage fetches one window of the scenario list.
+func (c *Client) ScenariosPage(ctx context.Context, limit, offset int) (Page[ScenarioInfo], error) {
+	q := url.Values{}
+	pageParams(q, limit, offset)
+	path := "/v1/scenarios"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page Page[ScenarioInfo]
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
 }
 
-// Results queries the versioned result store; empty filters match all.
-func (c *Client) Results(ctx context.Context, scenarioName, algorithm string) ([]StoredResult, error) {
+// Scenarios lists the registered workloads, draining pagination.
+func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	return collectPages(func(limit, offset int) (Page[ScenarioInfo], error) {
+		return c.ScenariosPage(ctx, limit, offset)
+	})
+}
+
+// Result fetches the stored result at an exact version
+// (GET /v1/results/{version}).
+func (c *Client) Result(ctx context.Context, version int) (StoredResult, error) {
+	var res StoredResult
+	err := c.do(ctx, http.MethodGet, "/v1/results/"+strconv.Itoa(version), nil, &res)
+	return res, err
+}
+
+// ResultsPage queries the result store (GET /v1/results): zero-valued
+// query fields match everything, matches come back newest-first, and
+// q.Limit <= 0 selects the server's default page size.
+func (c *Client) ResultsPage(ctx context.Context, rq ResultQuery) (Page[StoredResult], error) {
 	q := url.Values{}
-	if scenarioName != "" {
-		q.Set("scenario", scenarioName)
+	if rq.Key != "" {
+		q.Set("key", rq.Key)
 	}
-	if algorithm != "" {
-		q.Set("algorithm", algorithm)
+	if rq.Fingerprint != "" {
+		q.Set("fingerprint", rq.Fingerprint)
 	}
+	if rq.Scenario != "" {
+		q.Set("scenario", rq.Scenario)
+	}
+	if rq.Family != "" {
+		q.Set("family", rq.Family)
+	}
+	if rq.Algorithm != "" {
+		q.Set("algorithm", rq.Algorithm)
+	}
+	pageParams(q, rq.Limit, rq.Offset)
 	path := "/v1/results"
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
-	var results []StoredResult
-	err := c.do(ctx, http.MethodGet, path, nil, &results)
-	return results, err
+	var page Page[StoredResult]
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// LookupResult implements ResultLookup over the HTTP API, so warm-start
+// resolution (wsn-explore -warm-start <url>) runs against a remote
+// server exactly as it does against a local store directory.
+func (c *Client) LookupResult(version int) (StoredResult, bool) {
+	res, err := c.Result(context.Background(), version)
+	if err != nil {
+		return StoredResult{}, false
+	}
+	return res, true
+}
+
+// QueryResults implements ResultLookup over the HTTP API.
+func (c *Client) QueryResults(q ResultQuery) ([]StoredResult, error) {
+	page, err := c.ResultsPage(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	return page.Items, nil
 }
 
 // Events consumes the job's SSE stream, invoking fn for each event until
@@ -161,11 +297,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var ae apiError
-		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			return fmt.Errorf("service: events %s: %s (HTTP %d)", id, ae.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("service: events %s: HTTP %d", id, resp.StatusCode)
+		return fmt.Errorf("events %s: %w", id, decodeAPIError(resp.StatusCode, resp.Body))
 	}
 	scanner := bufio.NewScanner(resp.Body)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -207,3 +339,9 @@ func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (JobI
 	}
 	return c.Job(ctx, id)
 }
+
+// Interface checks: both result sources drive warm-start resolution.
+var (
+	_ ResultLookup = (*Store)(nil)
+	_ ResultLookup = (*Client)(nil)
+)

@@ -5,10 +5,91 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"wsndse/internal/casestudy"
 	"wsndse/internal/scenario"
 )
+
+// Machine-readable error codes of the v1 API, carried in every error
+// envelope ({"error": {"code": "...", "message": "..."}}) so clients
+// branch on the code instead of parsing prose. Client surfaces them as
+// *APIError.
+const (
+	// CodeInvalidSpec: the submitted job spec failed validation (unknown
+	// scenario/algorithm, out-of-domain config, unknown JSON field, ...).
+	CodeInvalidSpec = "invalid_spec"
+	// CodeInvalidArgument: a malformed query parameter or path segment
+	// (non-numeric limit, negative offset, non-numeric result version).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound: no such job, result version, or resource.
+	CodeNotFound = "not_found"
+	// CodeConflict: the resource exists but is not in a state that can
+	// serve the request (front requested before the job finished).
+	CodeConflict = "conflict"
+	// CodeQueueFull: the job queue is at its bound; retry later.
+	CodeQueueFull = "queue_full"
+	// CodeUnavailable: the manager is shutting down.
+	CodeUnavailable = "unavailable"
+	// CodeInternal: unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// Pagination bounds of the list endpoints (/v1/jobs, /v1/scenarios,
+// /v1/results): an omitted limit serves DefaultPageLimit items, and a
+// requested limit is clamped to MaxPageLimit — a list endpoint must not
+// be a memory-amplification vector no matter what the client asks for.
+const (
+	DefaultPageLimit = 100
+	MaxPageLimit     = 500
+)
+
+// Page is the list envelope shared by every v1 collection endpoint: the
+// requested window plus the total match count, so clients can page
+// without a separate count call.
+type Page[T any] struct {
+	Items  []T `json:"items"`
+	Total  int `json:"total"`
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+}
+
+// pageOf windows items by limit/offset into the envelope.
+func pageOf[T any](items []T, limit, offset int) Page[T] {
+	p := Page[T]{Items: []T{}, Total: len(items), Limit: limit, Offset: offset}
+	if offset < len(items) {
+		end := offset + limit
+		if end > len(items) {
+			end = len(items)
+		}
+		p.Items = items[offset:end]
+	}
+	return p
+}
+
+// parsePageParams reads ?limit=&offset= with the documented defaulting
+// and clamping. Malformed or negative values are invalid_argument — a
+// client that mistypes pagination should find out, not silently get
+// page one.
+func parsePageParams(r *http.Request) (limit, offset int, err error) {
+	limit = DefaultPageLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit < 1 {
+			return 0, 0, fmt.Errorf("service: limit %q is not a positive integer", raw)
+		}
+		if limit > MaxPageLimit {
+			limit = MaxPageLimit
+		}
+	}
+	if raw := r.URL.Query().Get("offset"); raw != "" {
+		offset, err = strconv.Atoi(raw)
+		if err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("service: offset %q is not a non-negative integer", raw)
+		}
+	}
+	return limit, offset, nil
+}
 
 // ScenarioInfo is one row of GET /v1/scenarios: enough for a client to
 // pick a workload and size its exploration budget.
@@ -24,48 +105,62 @@ type ScenarioInfo struct {
 
 // NewHandler exposes the Manager as a JSON HTTP API:
 //
-//	POST   /v1/jobs               submit a Spec            → 201 JobInfo
-//	GET    /v1/jobs               list jobs                → 200 []JobInfo
-//	GET    /v1/jobs/{id}          job state                → 200 JobInfo
-//	DELETE /v1/jobs/{id}          cancel (cooperative)     → 202 JobInfo
-//	GET    /v1/jobs/{id}/front    Pareto front             → 200 FrontResponse (409 until available)
-//	GET    /v1/jobs/{id}/checkpoint  latest dse.Snapshot   → 200 (404 if none)
-//	GET    /v1/jobs/{id}/events   live progress stream     → 200 text/event-stream (SSE)
-//	GET    /v1/scenarios          registered workloads     → 200 []ScenarioInfo
-//	GET    /v1/results            result store query       → 200 []StoredResult (?scenario=&algorithm=)
-//	GET    /healthz               liveness                 → 200
+//	POST   /v1/jobs                  submit a Spec             → 201 JobInfo
+//	GET    /v1/jobs                  list jobs                 → 200 Page[JobInfo]      (?limit=&offset=)
+//	GET    /v1/jobs/{id}             job state                 → 200 JobInfo
+//	DELETE /v1/jobs/{id}             cancel (cooperative)      → 202 JobInfo
+//	GET    /v1/jobs/{id}/front       Pareto front              → 200 FrontResponse (409 until available)
+//	GET    /v1/jobs/{id}/checkpoint  latest dse.Snapshot       → 200 (404 if none)
+//	GET    /v1/jobs/{id}/events      live progress stream      → 200 text/event-stream (SSE)
+//	GET    /v1/scenarios             registered workloads      → 200 Page[ScenarioInfo] (?limit=&offset=)
+//	GET    /v1/results               result store query        → 200 Page[StoredResult]
+//	                                 (?key=&fingerprint=&scenario=&family=&algorithm=&limit=&offset=)
+//	GET    /v1/results/{version}     one stored result         → 200 StoredResult ({version} is "17" or "v17")
+//	GET    /healthz                  liveness                  → 200
 //
-// Errors are {"error": "..."} with conventional status codes (400 bad
-// spec, 404 unknown id, 409 front not ready, 429 queue full).
+// List endpoints return the Page envelope {"items", "total", "limit",
+// "offset"}; results come back newest-first. Errors are
+// {"error": {"code": "...", "message": "..."}} with the conventional
+// status codes: 400 invalid_spec/invalid_argument, 404 not_found,
+// 409 conflict, 429 queue_full, 503 unavailable, 500 internal.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
-		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		dec := json.NewDecoder(r.Body)
+		// Unknown fields fail fast: a typo like "algoritm" must be a 400,
+		// not a silently defaulted (and differently explored) job.
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Errorf("decoding spec: %w", err))
 			return
 		}
 		info, err := m.Submit(spec)
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
-				writeError(w, http.StatusTooManyRequests, err)
+				writeError(w, http.StatusTooManyRequests, CodeQueueFull, err)
 			case errors.Is(err, ErrClosed):
-				writeError(w, http.StatusServiceUnavailable, err)
+				writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
 			default:
-				writeError(w, http.StatusBadRequest, err)
+				writeError(w, http.StatusBadRequest, CodeInvalidSpec, err)
 			}
 			return
 		}
 		writeJSON(w, http.StatusCreated, info)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.Jobs())
+		limit, offset, err := parsePageParams(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, pageOf(m.Jobs(), limit, offset))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		info, ok := m.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, ErrNotFound)
+			writeError(w, http.StatusNotFound, CodeNotFound, ErrNotFound)
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
@@ -73,7 +168,7 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if err := m.Cancel(id); err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, http.StatusNotFound, CodeNotFound, err)
 			return
 		}
 		info, _ := m.Get(id)
@@ -83,11 +178,11 @@ func NewHandler(m *Manager) http.Handler {
 		front, err := m.Front(r.PathValue("id"))
 		switch {
 		case errors.Is(err, ErrNotFound):
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, http.StatusNotFound, CodeNotFound, err)
 		case errors.Is(err, ErrNotFinished):
-			writeError(w, http.StatusConflict, err)
+			writeError(w, http.StatusConflict, CodeConflict, err)
 		case err != nil:
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		default:
 			writeJSON(w, http.StatusOK, front)
 		}
@@ -95,7 +190,7 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		snap, err := m.Checkpoint(r.PathValue("id"))
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, http.StatusNotFound, CodeNotFound, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, snap)
@@ -104,14 +199,48 @@ func NewHandler(m *Manager) http.Handler {
 		serveEvents(m, w, r)
 	})
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, listScenarios())
+		limit, offset, err := parsePageParams(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, pageOf(listScenarios(), limit, offset))
 	})
 	mux.HandleFunc("GET /v1/results", func(w http.ResponseWriter, r *http.Request) {
-		results := m.Store().Query(r.URL.Query().Get("scenario"), r.URL.Query().Get("algorithm"))
-		if results == nil {
-			results = []StoredResult{}
+		limit, offset, err := parsePageParams(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, err)
+			return
 		}
-		writeJSON(w, http.StatusOK, results)
+		qp := r.URL.Query()
+		items, total := m.Store().Query(ResultQuery{
+			Key:         qp.Get("key"),
+			Fingerprint: qp.Get("fingerprint"),
+			Scenario:    qp.Get("scenario"),
+			Family:      qp.Get("family"),
+			Algorithm:   qp.Get("algorithm"),
+			Limit:       limit,
+			Offset:      offset,
+		})
+		if items == nil {
+			items = []StoredResult{}
+		}
+		writeJSON(w, http.StatusOK, Page[StoredResult]{Items: items, Total: total, Limit: limit, Offset: offset})
+	})
+	mux.HandleFunc("GET /v1/results/{version}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := warmStartVersion(r.PathValue("version"))
+		if !ok {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				fmt.Errorf("service: result version %q is not a positive integer", r.PathValue("version")))
+			return
+		}
+		res, ok := m.Store().Get(v)
+		if !ok {
+			writeError(w, http.StatusNotFound, CodeNotFound,
+				fmt.Errorf("service: no result at version %d (never stored, or evicted)", v))
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -125,12 +254,12 @@ func NewHandler(m *Manager) http.Handler {
 func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("service: response writer cannot stream"))
+		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("service: response writer cannot stream"))
 		return
 	}
 	replay, ch, cancel, err := m.Subscribe(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	defer cancel()
@@ -199,6 +328,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// errorEnvelope is the wire form of every v1 error response.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the structured error envelope. This is the v1 wire
+// revision that replaced the flat {"error": "..."} shape: the code is
+// the stable contract, the message is for humans.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: err.Error()}})
 }

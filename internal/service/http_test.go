@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -19,7 +20,7 @@ import (
 // Client against it.
 func newTestServer(t *testing.T, cfg Config) (*Client, *Manager) {
 	t.Helper()
-	m := New(cfg)
+	m := newTestManager(t, cfg)
 	srv := httptest.NewServer(NewHandler(m))
 	t.Cleanup(func() {
 		srv.Close()
@@ -76,16 +77,24 @@ func TestHTTPSubmitWaitFront(t *testing.T) {
 		t.Fatalf("front %+v", front)
 	}
 
-	// The versioned store serves the same front.
-	results, err := c.Results(ctx, "ecg-ward", AlgoNSGA2)
+	// The versioned store serves the same front, both via the query
+	// endpoint and the direct version endpoint.
+	results, err := c.ResultsPage(ctx, ResultQuery{Scenario: "ecg-ward", Algorithm: AlgoNSGA2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 1 || !reflect.DeepEqual(results[0].Front, front.Front) {
+	if results.Total != 1 || len(results.Items) != 1 || !reflect.DeepEqual(results.Items[0].Front, front.Front) {
 		t.Fatalf("stored results %+v", results)
 	}
-	if results[0].Version != final.ResultVersion {
-		t.Fatalf("store version %d, job says %d", results[0].Version, final.ResultVersion)
+	if results.Items[0].Version != final.ResultVersion {
+		t.Fatalf("store version %d, job says %d", results.Items[0].Version, final.ResultVersion)
+	}
+	byVersion, err := c.Result(ctx, final.ResultVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byVersion.Key == "" || byVersion.Fingerprint == "" || !reflect.DeepEqual(byVersion.Front, front.Front) {
+		t.Fatalf("result by version %+v", byVersion)
 	}
 
 	jobs, err := c.Jobs(ctx)
@@ -230,6 +239,159 @@ func TestHTTPErrors(t *testing.T) {
 	_ = m
 }
 
+// TestHTTPAPIErrorCodes pins the structured error envelope: every
+// failure surfaces as a typed *APIError whose machine-readable code a
+// client can branch on with errors.As.
+func TestHTTPAPIErrorCodes(t *testing.T) {
+	c, _ := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	codeOf := func(err error) (string, int) {
+		t.Helper()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("error is not an *APIError: %v", err)
+		}
+		return apiErr.Code, apiErr.StatusCode
+	}
+
+	_, err := c.Submit(ctx, Spec{Scenario: "nope", Algorithm: AlgoNSGA2})
+	if code, status := codeOf(err); code != CodeInvalidSpec || status != http.StatusBadRequest {
+		t.Fatalf("bad spec → %s/%d", code, status)
+	}
+	_, err = c.Job(ctx, "j999")
+	if code, status := codeOf(err); code != CodeNotFound || status != http.StatusNotFound {
+		t.Fatalf("unknown job → %s/%d", code, status)
+	}
+	_, err = c.Result(ctx, 999)
+	if code, _ := codeOf(err); code != CodeNotFound {
+		t.Fatalf("unknown result version → %s", code)
+	}
+	err = c.do(ctx, http.MethodGet, "/v1/results/banana", nil, nil)
+	if code, _ := codeOf(err); code != CodeInvalidArgument {
+		t.Fatalf("malformed result version → %s", code)
+	}
+	err = c.do(ctx, http.MethodGet, "/v1/jobs?limit=-1", nil, nil)
+	if code, _ := codeOf(err); code != CodeInvalidArgument {
+		t.Fatalf("negative limit → %s", code)
+	}
+	err = c.do(ctx, http.MethodGet, "/v1/results?offset=x", nil, nil)
+	if code, _ := codeOf(err); code != CodeInvalidArgument {
+		t.Fatalf("malformed offset → %s", code)
+	}
+
+	// The legacy flat {"error":"..."} shape still decodes into APIError
+	// (message only, no code).
+	flat := decodeAPIError(http.StatusTeapot, strings.NewReader(`{"error":"kaputt"}`))
+	if flat.Code != "" || flat.Message != "kaputt" || flat.StatusCode != http.StatusTeapot {
+		t.Fatalf("legacy decode %+v", flat)
+	}
+}
+
+// TestHTTPSubmitUnknownFieldRejected: a typo in the spec body must be a
+// 400 invalid_spec, not a silently defaulted job.
+func TestHTTPSubmitUnknownFieldRejected(t *testing.T) {
+	c, m := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	err := c.do(ctx, http.MethodPost, "/v1/jobs",
+		map[string]any{"scenario": "ecg-ward", "algoritm": AlgoNSGA2}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeInvalidSpec || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("misspelled field → %v", err)
+	}
+	if !strings.Contains(apiErr.Message, "algoritm") {
+		t.Fatalf("error does not name the offending field: %q", apiErr.Message)
+	}
+	if jobs := m.Jobs(); len(jobs) != 0 {
+		t.Fatalf("rejected submission left %d job records", len(jobs))
+	}
+	// The well-formed twin is accepted — the rejection above was the
+	// typo, not the endpoint.
+	if _, err := c.Submit(ctx, smallNSGA2("ecg-ward", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPPagination drives the Page envelope over all three list
+// endpoints: window arithmetic, the limit clamp, and the page-draining
+// convenience methods.
+func TestHTTPPagination(t *testing.T) {
+	c, m := newTestServer(t, Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		info, err := c.Submit(ctx, Spec{Scenario: "ecg-ward", Algorithm: AlgoRandom, Seed: int64(i), Budget: 64, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, m, info.ID)
+	}
+
+	page, err := c.JobsPage(ctx, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != n || len(page.Items) != 2 || page.Limit != 2 || page.Offset != 0 {
+		t.Fatalf("jobs page 1: %+v", page)
+	}
+	last, err := c.JobsPage(ctx, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Total != n || len(last.Items) != 1 {
+		t.Fatalf("jobs last page: %+v", last)
+	}
+	if page.Items[0].ID == last.Items[0].ID {
+		t.Fatal("pages overlap")
+	}
+	beyond, err := c.JobsPage(ctx, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beyond.Items) != 0 || beyond.Total != n {
+		t.Fatalf("past-the-end page: %+v", beyond)
+	}
+	all, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n {
+		t.Fatalf("Jobs() drained %d, want %d", len(all), n)
+	}
+
+	// A limit beyond the cap is clamped, and the response says so.
+	var raw Page[JobInfo]
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs?limit=99999", nil, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw.Limit != MaxPageLimit {
+		t.Fatalf("limit echoed %d, want clamp to %d", raw.Limit, MaxPageLimit)
+	}
+
+	// Results pagination windows the newest-first order.
+	rp, err := c.ResultsPage(ctx, ResultQuery{Scenario: "ecg-ward", Algorithm: AlgoRandom, Limit: 2, Offset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Total != n || len(rp.Items) != 2 || rp.Items[0].Version <= rp.Items[1].Version {
+		t.Fatalf("results page %+v", rp)
+	}
+
+	// Scenario pagination agrees with the registry size.
+	sp, err := c.ScenariosPage(ctx, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Total != len(scenario.Names()) || len(sp.Items) != 1 {
+		t.Fatalf("scenarios page %+v", sp)
+	}
+}
+
 // TestHTTPCheckpointRoundTrip drives the kill/resume flow purely over the
 // HTTP surface: checkpoint → cancel → fetch snapshot → resubmit with
 // resume → identical front to an uninterrupted HTTP job.
@@ -307,7 +469,7 @@ func TestHTTPCheckpointRoundTrip(t *testing.T) {
 // TestSSEWireFormat checks the raw stream shape without the client's
 // parser in the way.
 func TestSSEWireFormat(t *testing.T) {
-	m := New(Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer m.Close()
 	srv := httptest.NewServer(NewHandler(m))
 	defer srv.Close()

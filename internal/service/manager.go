@@ -30,6 +30,15 @@ type Config struct {
 	// <dir>/<jobID>.snapshot.json (atomically, via rename) so checkpoints
 	// survive the process.
 	CheckpointDir string
+	// ResultDir, when set, makes the result store durable: finished
+	// fronts are written there (atomic files plus an append-only index)
+	// and a restarted Manager serves — and warm-starts from — the
+	// previous process's results.
+	ResultDir string
+	// MaxResults bounds the result store (<= 0 selects
+	// DefaultMaxResults); beyond it the least-recently-used front is
+	// evicted.
+	MaxResults int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,13 +120,21 @@ type Manager struct {
 	wg    sync.WaitGroup
 }
 
-// New starts a Manager with cfg.Workers job workers.
-func New(cfg Config) *Manager {
+// New starts a Manager with cfg.Workers job workers. With cfg.ResultDir
+// set it reopens the persistent result store first, so fronts archived
+// by a previous process are immediately queryable and warm-startable;
+// a store that cannot be opened fails construction rather than silently
+// degrading to amnesia.
+func New(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	store, err := NewStore(StoreConfig{Dir: cfg.ResultDir, MaxResults: cfg.MaxResults})
+	if err != nil {
+		return nil, err
+	}
 	root, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:   cfg,
-		store: &Store{},
+		store: store,
 		jobs:  make(map[string]*job),
 		queue: make(chan *job, cfg.QueueLimit),
 		root:  root,
@@ -132,7 +149,7 @@ func New(cfg Config) *Manager {
 			}
 		}()
 	}
-	return m
+	return m, nil
 }
 
 // Store returns the versioned result store.
@@ -163,6 +180,7 @@ func (m *Manager) Close() {
 	for _, j := range jobs {
 		j.setStatus(StatusCancelled, "manager closed")
 	}
+	m.store.Close()
 }
 
 // Submit validates the spec and enqueues a new job, returning its info
@@ -172,6 +190,14 @@ func (m *Manager) Submit(spec Spec) (JobInfo, error) {
 	spec = spec.normalize()
 	if err := spec.Validate(); err != nil {
 		return JobInfo{}, err
+	}
+	// An explicit warm-start version is a provenance request; reject it
+	// at submit time if the store cannot honor it, instead of failing the
+	// job after it was queued. (auto degrades to a cold run, never fails.)
+	if v, ok := warmStartVersion(spec.WarmStart); ok {
+		if _, found := m.store.Get(v); !found {
+			return JobInfo{}, fmt.Errorf("service: warm-start version %d is not in the result store", v)
+		}
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -382,16 +408,28 @@ func (m *Manager) runJob(j *job) {
 	j.mu.Unlock()
 	switch {
 	case err == nil:
-		version := m.store.Put(StoredResult{
+		stored := StoredResult{
 			JobID:       id,
 			Scenario:    j.spec.Scenario,
 			Algorithm:   j.spec.Algorithm,
+			Objectives:  ObjectivesFull,
 			Seed:        j.spec.Seed,
 			Evaluated:   res.Evaluated,
 			Infeasible:  res.Infeasible,
 			Front:       frontPoints(res.Front),
 			CompletedAt: time.Now(),
-		})
+		}
+		if sc, ok := scenario.Lookup(j.spec.Scenario); ok {
+			stored.Fingerprint = sc.Fingerprint()
+		}
+		version, perr := m.store.Put(stored)
+		if perr != nil {
+			// The search succeeded but its result cannot be archived: fail
+			// the job loudly (the front is still readable via /front) —
+			// same philosophy as checkpoint-write failures aborting runs.
+			j.setStatus(StatusFailed, fmt.Sprintf("archiving result: %v", perr))
+			return
+		}
 		j.mu.Lock()
 		j.info.ResultVersion = version
 		j.mu.Unlock()
@@ -445,6 +483,22 @@ func (m *Manager) execute(j *job) (*dse.Result, error) {
 		},
 		CheckpointEvery: spec.CheckpointEvery,
 		Resume:          spec.Resume,
+	}
+	// Warm-start resolution happens here — on the worker, not at Submit —
+	// so the seeds reflect the store's contents when the job actually
+	// starts (a queued job can inherit fronts finished ahead of it).
+	if spec.Resume == nil && (spec.Algorithm == AlgoNSGA2 || spec.Algorithm == AlgoMOSA) {
+		seeds, wsInfo, err := ResolveWarmStart(m.store, spec.WarmStart,
+			sc.Fingerprint(), ObjectivesFull, spec.Algorithm, spec.Scenario, problem.Space())
+		if err != nil {
+			return nil, err
+		}
+		opts.SeedPoints = seeds
+		if wsInfo != nil {
+			j.mu.Lock()
+			j.info.WarmStart = wsInfo
+			j.mu.Unlock()
+		}
 	}
 	if spec.CheckpointEvery > 0 {
 		opts.Checkpoint = func(snap *dse.Snapshot) error {

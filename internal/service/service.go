@@ -3,8 +3,8 @@
 // (scenario name, algorithm, seed, budget), a bounded-worker Manager
 // schedules them concurrently over the compiled evaluation pipeline, and
 // each job exposes lifecycle state, streaming progress, periodic
-// checkpoints and — once finished — a versioned Pareto front in the result
-// Store.
+// checkpoints and — once finished — a versioned Pareto front in the
+// content-addressed result Store.
 //
 // The paper's pitch is that the analytical model makes design-space
 // exploration cheap enough to be interactive; this package is the layer
@@ -26,11 +26,28 @@
 // Spec.Resume set to its last snapshot replays the uninterrupted run's
 // exact trajectory and finishes with a bit-identical front.
 //
+// # Result store and warm starts
+//
+// Every finished job's front is archived in the Store under a content
+// key — ResultKey hashes (scenario fingerprint, objective set,
+// algorithm) — with an LRU bound and, when Config.ResultDir is set,
+// durable persistence across process restarts (append-only index plus
+// atomic per-result files). A Spec with WarmStart "auto" seeds its
+// search from the archive: the exact content match if one exists,
+// otherwise fronts of same-family sibling scenarios (transfer seeding);
+// an explicit version ("v17") pins the source. Seeds reach the
+// algorithms through dse.Options.SeedPoints, so a warm-started job stays
+// a pure function of (spec, store contents) — determinism is preserved,
+// just relative to a richer input. JobInfo.WarmStart reports what was
+// actually used.
+//
 // # HTTP surface
 //
 // NewHandler exposes the Manager as a JSON-over-HTTP API (see http.go for
-// the route table), including an SSE stream of per-job progress events,
-// and Client wraps that API for Go callers. cmd/wsn-serve is the
+// the route table and error-code map), including an SSE stream of per-job
+// progress events, and Client wraps that API for Go callers — decoding
+// structured errors into typed *APIError values and draining the Page
+// envelopes that all list endpoints return. cmd/wsn-serve is the
 // production entry point; examples/service walks the whole flow.
 package service
 
@@ -74,6 +91,17 @@ type Spec struct {
 	// MaxPoints guards exhaustive sweeps (default 200000): a space larger
 	// than this is rejected rather than enumerated.
 	MaxPoints int `json:"max_points,omitempty"`
+
+	// WarmStart seeds the initial population from prior fronts in the
+	// result store: "" or "off" runs cold (the default — bit-identical
+	// to pre-warm-start behavior), "auto" resolves the scenario's
+	// content key (fingerprint, objectives, algorithm) plus near-miss
+	// family siblings, and an explicit version ("17" or "v17") seeds
+	// from exactly that stored front. Applies to nsga2 and mosa;
+	// exhaustive and random ignore it. Ignored when Resume is set (the
+	// snapshot already fixes the trajectory). JobInfo.WarmStart reports
+	// what was actually seeded.
+	WarmStart string `json:"warm_start,omitempty"`
 
 	// CheckpointEvery asks for a dse.Snapshot every N search boundaries
 	// (generations / chain segments / evaluation batches); 0 disables.
@@ -145,6 +173,9 @@ func (s Spec) Validate() error {
 	if s.Resume != nil && s.Resume.Algorithm != s.Algorithm {
 		return fmt.Errorf("service: resume snapshot is a %s run, spec wants %s", s.Resume.Algorithm, s.Algorithm)
 	}
+	if !validWarmStart(s.WarmStart) {
+		return fmt.Errorf("service: malformed warm_start %q (want off|auto|<version>)", s.WarmStart)
+	}
 	return nil
 }
 
@@ -191,6 +222,9 @@ type JobInfo struct {
 	FinishedAt      *time.Time    `json:"finished_at,omitempty"`
 	Progress        *ProgressInfo `json:"progress,omitempty"`
 	ResultVersion   int           `json:"result_version,omitempty"`
+	// WarmStart reports how the initial population was seeded; nil for
+	// cold runs (including warm_start: auto against an empty store).
+	WarmStart *WarmStartInfo `json:"warm_start,omitempty"`
 }
 
 // FrontPoint is one Pareto-front point in wire form.

@@ -23,6 +23,16 @@ func smallNSGA2(scenarioName string, seed int64) Spec {
 	}
 }
 
+// newTestManager opens a Manager, failing the test on error.
+func newTestManager(tb testing.TB, cfg Config) *Manager {
+	tb.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
 func waitDone(t *testing.T, m *Manager, id string) JobInfo {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -35,7 +45,7 @@ func waitDone(t *testing.T, m *Manager, id string) JobInfo {
 }
 
 func TestJobLifecycle(t *testing.T) {
-	m := New(Config{Workers: 2})
+	m := newTestManager(t, Config{Workers: 2})
 	defer m.Close()
 
 	info, err := m.Submit(smallNSGA2("ecg-ward", 7))
@@ -72,7 +82,7 @@ func TestJobLifecycle(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	m := New(Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer m.Close()
 	bad := []Spec{
 		{},
@@ -96,7 +106,7 @@ func TestSubmitValidation(t *testing.T) {
 // on a single-worker manager or alongside seven other jobs on a
 // four-worker one.
 func TestDeterminismUnderConcurrency(t *testing.T) {
-	solo := New(Config{Workers: 1})
+	solo := newTestManager(t, Config{Workers: 1})
 	info, err := solo.Submit(smallNSGA2("mixed-ward", 42))
 	if err != nil {
 		t.Fatal(err)
@@ -108,7 +118,7 @@ func TestDeterminismUnderConcurrency(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	busy := New(Config{Workers: 4})
+	busy := newTestManager(t, Config{Workers: 4})
 	defer busy.Close()
 	var ids []string
 	for i := 0; i < 4; i++ { // noise: other scenarios, other seeds
@@ -155,7 +165,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 		t.Run(sc.Name, func(t *testing.T) {
 			t.Parallel()
 			dir := t.TempDir()
-			m := New(Config{Workers: 2, CheckpointDir: dir})
+			m := newTestManager(t, Config{Workers: 2, CheckpointDir: dir})
 			defer m.Close()
 
 			spec := Spec{
@@ -247,7 +257,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 // TestMOSACheckpointResume covers the second algorithm family end to end
 // at service level.
 func TestMOSACheckpointResume(t *testing.T) {
-	m := New(Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer m.Close()
 	spec := Spec{
 		Scenario:  "ecg-ward",
@@ -304,7 +314,7 @@ func TestMOSACheckpointResume(t *testing.T) {
 }
 
 func TestCancelQueuedJob(t *testing.T) {
-	m := New(Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer m.Close()
 	// Occupy the single worker with a job big enough that cancellation is
 	// the only way it ends, then cancel one still queued behind it.
@@ -355,7 +365,7 @@ func TestCancelQueuedJob(t *testing.T) {
 }
 
 func TestQueueFull(t *testing.T) {
-	m := New(Config{Workers: 1, QueueLimit: 1})
+	m := newTestManager(t, Config{Workers: 1, QueueLimit: 1})
 	defer m.Close()
 	specs := smallNSGA2("ecg-ward", 1)
 	if _, err := m.Submit(specs); err != nil {
@@ -384,21 +394,35 @@ func TestQueueFull(t *testing.T) {
 	}
 }
 
+// mustPut stores r, failing the test on error.
+func mustPut(t *testing.T, s *Store, r StoredResult) int {
+	t.Helper()
+	v, err := s.Put(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 func TestStoreVersioning(t *testing.T) {
-	s := &Store{}
+	s, err := NewStore(StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := s.Latest("", ""); ok {
 		t.Fatal("empty store claims a latest result")
 	}
-	v1 := s.Put(StoredResult{Scenario: "a", Algorithm: "nsga2"})
-	v2 := s.Put(StoredResult{Scenario: "a", Algorithm: "mosa"})
-	v3 := s.Put(StoredResult{Scenario: "b", Algorithm: "nsga2"})
+	v1 := mustPut(t, s, StoredResult{Scenario: "a", Algorithm: "nsga2", Fingerprint: "fpA", Objectives: ObjectivesFull})
+	v2 := mustPut(t, s, StoredResult{Scenario: "a", Algorithm: "mosa", Fingerprint: "fpA", Objectives: ObjectivesFull})
+	v3 := mustPut(t, s, StoredResult{Scenario: "b", Algorithm: "nsga2", Fingerprint: "fpB", Objectives: ObjectivesFull})
 	if v1 != 1 || v2 != 2 || v3 != 3 {
 		t.Fatalf("versions %d,%d,%d", v1, v2, v3)
 	}
-	if got := s.Query("a", ""); len(got) != 2 {
-		t.Fatalf("Query(a) returned %d results", len(got))
+	if got, total := s.Query(ResultQuery{Scenario: "a"}); len(got) != 2 || total != 2 {
+		t.Fatalf("Query(a) returned %d results (total %d)", len(got), total)
 	}
-	if got := s.Query("", "nsga2"); len(got) != 2 || got[0].Version != 1 || got[1].Version != 3 {
+	// Matches come back newest-first.
+	if got, _ := s.Query(ResultQuery{Algorithm: "nsga2"}); len(got) != 2 || got[0].Version != 3 || got[1].Version != 1 {
 		t.Fatalf("Query(nsga2) = %+v", got)
 	}
 	latest, ok := s.Latest("a", "")
@@ -410,6 +434,25 @@ func TestStoreVersioning(t *testing.T) {
 	}
 	if r, ok := s.Get(3); !ok || r.Scenario != "b" {
 		t.Fatalf("Get(3) = %+v", r)
+	}
+	// The content key is derived and queryable; the exact-key index finds
+	// the newest holder of a key.
+	wantKey := ResultKey("fpA", ObjectivesFull, "nsga2")
+	if r, _ := s.Get(1); r.Key != wantKey {
+		t.Fatalf("v1 key %q, want %q", r.Key, wantKey)
+	}
+	if r, ok := s.LatestByKey(wantKey); !ok || r.Version != 1 {
+		t.Fatalf("LatestByKey = %+v, %v", r, ok)
+	}
+	if got, total := s.Query(ResultQuery{Key: wantKey}); total != 1 || len(got) != 1 || got[0].Version != 1 {
+		t.Fatalf("Query(key) = %+v (total %d)", got, total)
+	}
+	// Pagination: limit/offset window the newest-first order.
+	if got, total := s.Query(ResultQuery{Limit: 2}); total != 3 || len(got) != 2 || got[0].Version != 3 {
+		t.Fatalf("page 1 = %+v (total %d)", got, total)
+	}
+	if got, total := s.Query(ResultQuery{Limit: 2, Offset: 2}); total != 3 || len(got) != 1 || got[0].Version != 1 {
+		t.Fatalf("page 2 = %+v (total %d)", got, total)
 	}
 }
 
@@ -453,7 +496,7 @@ func TestHubReplayAndDropOldest(t *testing.T) {
 }
 
 func TestManagerClose(t *testing.T) {
-	m := New(Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	ids := make([]string, 0, 3)
 	for i := 0; i < 3; i++ {
 		info, err := m.Submit(Spec{
@@ -485,7 +528,7 @@ func TestSpecNormalizeDefaults(t *testing.T) {
 }
 
 func TestExhaustiveRejectsHugeSpace(t *testing.T) {
-	m := New(Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer m.Close()
 	info, err := m.Submit(Spec{Scenario: "ecg-ward", Algorithm: AlgoExhaustive, MaxPoints: 1000})
 	if err != nil {
@@ -501,7 +544,7 @@ func TestExhaustiveRejectsHugeSpace(t *testing.T) {
 }
 
 func TestJobsOrderStable(t *testing.T) {
-	m := New(Config{Workers: 2})
+	m := newTestManager(t, Config{Workers: 2})
 	defer m.Close()
 	var want []string
 	for i := 0; i < 5; i++ {

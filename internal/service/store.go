@@ -1,16 +1,61 @@
 package service
 
 import (
+	"bufio"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
+// ObjectivesFull names the three-objective evaluator every service job
+// runs (energy, signal quality, delay — the paper's Eq. 1–9 metrics).
+// The objective set is part of a result's content key: a front computed
+// under the baseline (energy, delay) projection must never seed or
+// answer queries for a full three-objective search.
+var ObjectivesFull = []string{"energy", "quality", "delay"}
+
+// ObjectivesBaseline names the application-blind (energy, delay)
+// projection wsn-explore's -objectives baseline mode searches.
+var ObjectivesBaseline = []string{"energy", "delay"}
+
+// resultKeyVersion prefixes the key encoding, so a future change to the
+// encoding visibly changes every key instead of silently colliding.
+const resultKeyVersion = "wsndse/resultkey/v1"
+
+// ResultKey is the content address of an exploration result: a hex
+// SHA-256 over (scenario fingerprint, objective set, algorithm). Two
+// jobs with the same key explored the same problem — identical scenario
+// content (regardless of registered name), identical objective space,
+// same algorithm family — so their fronts are interchangeable as
+// warm-start seeds and cache answers. Seeds and algorithm configs are
+// deliberately excluded: they change how well the front was found, not
+// what problem it belongs to.
+func ResultKey(fingerprint string, objectives []string, algorithm string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nfp %s\nobjs %s\nalgo %s\n",
+		resultKeyVersion, fingerprint, strings.Join(objectives, ","), algorithm)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // StoredResult is one finished exploration kept by the Store: the front
-// plus the identity that produced it. Version is a process-wide monotonic
-// counter — "the ward's front as of version 17" is a stable reference
-// even as newer jobs re-explore the same scenario.
+// plus the identity that produced it. Version is a process-lifetime
+// monotonic counter (persisted stores continue where the dead process
+// stopped) — "the ward's front as of version 17" is a stable reference
+// even as newer jobs re-explore the same scenario. Key/Fingerprint/
+// Objectives are the content identity warm starting resolves against.
 type StoredResult struct {
 	Version     int          `json:"version"`
+	Key         string       `json:"key"`
+	Fingerprint string       `json:"fingerprint"`
+	Objectives  []string     `json:"objectives"`
 	JobID       string       `json:"job_id"`
 	Scenario    string       `json:"scenario"`
 	Algorithm   string       `json:"algorithm"`
@@ -21,67 +66,375 @@ type StoredResult struct {
 	CompletedAt time.Time    `json:"completed_at"`
 }
 
-// Store is the versioned result archive: every successfully finished
-// job's front, queryable by scenario and algorithm. It is append-only —
-// results are immutable history, superseded rather than overwritten.
+// ResultQuery filters and paginates Store.Query. Zero-valued string
+// filters match everything; Family matches results whose scenario name
+// is "<Family>/..." (the generated-population prefix). Limit <= 0 means
+// no page bound; Offset skips that many matches. Matches come back
+// newest-first (descending version): the freshest front is the one warm
+// starts and dashboards want on page one.
+type ResultQuery struct {
+	Key         string
+	Fingerprint string
+	Scenario    string
+	Family      string
+	Algorithm   string
+	Limit       int
+	Offset      int
+}
+
+func (q ResultQuery) matches(r *StoredResult) bool {
+	if q.Key != "" && r.Key != q.Key {
+		return false
+	}
+	if q.Fingerprint != "" && r.Fingerprint != q.Fingerprint {
+		return false
+	}
+	if q.Scenario != "" && r.Scenario != q.Scenario {
+		return false
+	}
+	if q.Family != "" && !strings.HasPrefix(r.Scenario, q.Family+"/") {
+		return false
+	}
+	if q.Algorithm != "" && r.Algorithm != q.Algorithm {
+		return false
+	}
+	return true
+}
+
+// DefaultMaxResults bounds an unconfigured store. The store is a working
+// set, not an archive: at millions-of-users scale the value of a front
+// decays once fresher re-explorations of the same key exist, so the
+// bound evicts the least-recently-used result rather than growing
+// without limit.
+const DefaultMaxResults = 1024
+
+// StoreConfig parameterizes a Store. The zero value is a purely
+// in-memory store bounded at DefaultMaxResults.
+type StoreConfig struct {
+	// Dir, when set, persists every result to <Dir>/v<version>.json
+	// (atomic tmp+rename, like the checkpoint path) and records puts and
+	// evictions in an append-only <Dir>/index.jsonl. A Store reopened on
+	// the same directory serves the surviving results with the version
+	// counter continuing monotonically.
+	Dir string
+	// MaxResults bounds how many results are retained (<= 0 selects
+	// DefaultMaxResults). Beyond it the least-recently-used result is
+	// evicted; Get, Latest and Query hits refresh recency.
+	MaxResults int
+}
+
+// storedEntry is one retained result plus its LRU list node.
+type storedEntry struct {
+	res  StoredResult
+	node *list.Element // element value is the version (int)
+}
+
+// indexRecord is one line of the on-disk append-only index: the write-
+// ahead history of puts and evictions. Replaying the file rebuilds the
+// retained set exactly; Key rides along so the index alone answers
+// "which versions held which content" without opening result files.
+type indexRecord struct {
+	Op      string `json:"op"` // "put" | "evict"
+	Version int    `json:"version"`
+	Key     string `json:"key,omitempty"`
+}
+
+// Store is the content-addressed result archive: every successfully
+// finished job's front, keyed by version and by ResultKey, LRU-bounded,
+// and (when configured with a directory) durable across process death.
+// Results are immutable once stored — superseded by newer versions,
+// never overwritten. All methods are safe for concurrent use.
 type Store struct {
 	mu      sync.RWMutex
-	results []StoredResult
+	cfg     StoreConfig
+	byVer   map[int]*storedEntry // O(1) version lookup
+	byKey   map[string][]int     // content key → versions, ascending
+	lru     *list.List           // front = most recently used
+	nextVer int
+	index   *os.File // nil for in-memory stores
 }
 
-// Put archives a result and returns its version (1-based, monotonic in
-// completion order).
-func (s *Store) Put(r StoredResult) int {
+// NewStore opens a store. With cfg.Dir set it creates the directory,
+// replays the append-only index, loads every surviving result file and
+// reopens the index for appending, so the returned store carries the
+// previous process's results.
+func NewStore(cfg StoreConfig) (*Store, error) {
+	if cfg.MaxResults <= 0 {
+		cfg.MaxResults = DefaultMaxResults
+	}
+	s := &Store{
+		cfg:   cfg,
+		byVer: make(map[int]*storedEntry),
+		byKey: make(map[string][]int),
+		lru:   list.New(),
+	}
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: result store dir: %w", err)
+	}
+	if err := s.replayIndex(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: result store index: %w", err)
+	}
+	s.index = f
+	// A store reopened with a smaller bound trims immediately (recorded
+	// in the index like any other eviction).
+	for s.lru.Len() > s.cfg.MaxResults {
+		s.evictOldest()
+	}
+	return s, nil
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.cfg.Dir, "index.jsonl") }
+
+func (s *Store) resultPath(version int) string {
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("v%d.json", version))
+}
+
+// replayIndex rebuilds the retained set from the on-disk history: puts
+// minus evictions, in recorded order (which is also recency order, so
+// the rebuilt LRU treats older surviving versions as colder). A result
+// file that disappeared out from under the index is treated as evicted
+// rather than failing the whole store open.
+func (s *Store) replayIndex() error {
+	f, err := os.Open(s.indexPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: result store index: %w", err)
+	}
+	defer f.Close()
+	live := []int{}
+	liveSet := map[int]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec indexRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			// A torn final line (crash mid-append) ends the usable history.
+			break
+		}
+		switch rec.Op {
+		case "put":
+			if !liveSet[rec.Version] {
+				liveSet[rec.Version] = true
+				live = append(live, rec.Version)
+			}
+			if rec.Version > s.nextVer {
+				s.nextVer = rec.Version
+			}
+		case "evict":
+			if liveSet[rec.Version] {
+				delete(liveSet, rec.Version)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("service: result store index: %w", err)
+	}
+	for _, v := range live {
+		if !liveSet[v] {
+			continue
+		}
+		data, err := os.ReadFile(s.resultPath(v))
+		if err != nil {
+			continue // evicted behind the index's back; drop it
+		}
+		var r StoredResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return fmt.Errorf("service: corrupt result file v%d.json: %w", v, err)
+		}
+		r.Version = v
+		s.insert(r)
+	}
+	return nil
+}
+
+// insert registers r (whose Version is already assigned) in the maps and
+// LRU as most-recently-used. Caller holds mu.
+func (s *Store) insert(r StoredResult) {
+	e := &storedEntry{res: r}
+	e.node = s.lru.PushFront(r.Version)
+	s.byVer[r.Version] = e
+	s.byKey[r.Key] = append(s.byKey[r.Key], r.Version)
+}
+
+// Put archives a result, assigns its version (monotonic in completion
+// order, continuing across restarts for persistent stores), computes its
+// content key when unset, persists it, and evicts beyond the size bound.
+// A persistence failure is returned to the caller — a store that cannot
+// keep its durability promise must not pretend it did.
+func (s *Store) Put(r StoredResult) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r.Version = len(s.results) + 1
-	s.results = append(s.results, r)
-	return r.Version
-}
-
-// Query returns results matching the filters in version order; empty
-// strings match everything. The returned slice is fresh but shares the
-// immutable front storage.
-func (s *Store) Query(scenarioName, algorithm string) []StoredResult {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []StoredResult
-	for _, r := range s.results {
-		if (scenarioName == "" || r.Scenario == scenarioName) &&
-			(algorithm == "" || r.Algorithm == algorithm) {
-			out = append(out, r)
+	if r.Key == "" {
+		r.Key = ResultKey(r.Fingerprint, r.Objectives, r.Algorithm)
+	}
+	s.nextVer++
+	r.Version = s.nextVer
+	if s.index != nil {
+		data, err := json.Marshal(r)
+		if err != nil {
+			s.nextVer--
+			return 0, err
+		}
+		if err := writeFileAtomic(s.resultPath(r.Version), data); err != nil {
+			s.nextVer--
+			return 0, err
+		}
+		if err := s.appendIndex(indexRecord{Op: "put", Version: r.Version, Key: r.Key}); err != nil {
+			s.nextVer--
+			return 0, err
 		}
 	}
-	return out
+	s.insert(r)
+	for s.lru.Len() > s.cfg.MaxResults {
+		s.evictOldest()
+	}
+	return r.Version, nil
 }
 
-// Latest returns the newest result matching the filters.
-func (s *Store) Latest(scenarioName, algorithm string) (StoredResult, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for i := len(s.results) - 1; i >= 0; i-- {
-		r := s.results[i]
-		if (scenarioName == "" || r.Scenario == scenarioName) &&
-			(algorithm == "" || r.Algorithm == algorithm) {
-			return r, true
+// evictOldest drops the least-recently-used result. Caller holds mu.
+func (s *Store) evictOldest() {
+	back := s.lru.Back()
+	if back == nil {
+		return
+	}
+	v := back.Value.(int)
+	e := s.byVer[v]
+	s.lru.Remove(back)
+	delete(s.byVer, v)
+	vers := s.byKey[e.res.Key]
+	for i, kv := range vers {
+		if kv == v {
+			s.byKey[e.res.Key] = append(vers[:i], vers[i+1:]...)
+			break
 		}
 	}
-	return StoredResult{}, false
+	if len(s.byKey[e.res.Key]) == 0 {
+		delete(s.byKey, e.res.Key)
+	}
+	if s.index != nil {
+		os.Remove(s.resultPath(v))
+		// Best-effort: a lost evict record re-surfaces the (deleted)
+		// result at next open, where the missing file drops it again.
+		_ = s.appendIndex(indexRecord{Op: "evict", Version: v})
+	}
 }
 
-// Get returns the result at an exact version.
+func (s *Store) appendIndex(rec indexRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = s.index.Write(append(data, '\n'))
+	return err
+}
+
+// touch marks the entry most-recently-used. Caller holds mu (write).
+func (s *Store) touch(e *storedEntry) { s.lru.MoveToFront(e.node) }
+
+// Get returns the result at an exact version and refreshes its recency.
+// Evicted versions are gone: false, like versions never assigned.
 func (s *Store) Get(version int) (StoredResult, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if version < 1 || version > len(s.results) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byVer[version]
+	if !ok {
 		return StoredResult{}, false
 	}
-	return s.results[version-1], true
+	s.touch(e)
+	return e.res, true
 }
 
-// Len returns how many results are archived.
+// LatestByKey returns the newest retained result with the given content
+// key — the exact-match warm-start lookup, O(1) via the key index.
+func (s *Store) LatestByKey(key string) (StoredResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vers := s.byKey[key]
+	if len(vers) == 0 {
+		return StoredResult{}, false
+	}
+	e := s.byVer[vers[len(vers)-1]]
+	s.touch(e)
+	return e.res, true
+}
+
+// Query returns retained results matching the filters, newest first,
+// paginated by q.Limit/q.Offset. total counts every match before
+// pagination, so clients can page through without a second endpoint.
+func (s *Store) Query(q ResultQuery) (page []StoredResult, total int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vers := make([]int, 0, len(s.byVer))
+	if q.Key != "" {
+		vers = append(vers, s.byKey[q.Key]...)
+	} else {
+		for v := range s.byVer {
+			vers = append(vers, v)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(vers)))
+	for _, v := range vers {
+		e := s.byVer[v]
+		if !q.matches(&e.res) {
+			continue
+		}
+		if total >= q.Offset && (q.Limit <= 0 || len(page) < q.Limit) {
+			page = append(page, e.res)
+		}
+		total++
+	}
+	return page, total
+}
+
+// Latest returns the newest retained result matching scenario/algorithm
+// filters (empty matches everything) — the coarse pre-content-key lookup
+// kept for CLI convenience.
+func (s *Store) Latest(scenarioName, algorithm string) (StoredResult, bool) {
+	page, _ := s.Query(ResultQuery{Scenario: scenarioName, Algorithm: algorithm, Limit: 1})
+	if len(page) == 0 {
+		return StoredResult{}, false
+	}
+	return page[0], true
+}
+
+// Len returns how many results are currently retained.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.results)
+	return len(s.byVer)
+}
+
+// Close flushes and closes the on-disk index. In-memory stores no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.index == nil {
+		return nil
+	}
+	err := s.index.Close()
+	s.index = nil
+	return err
+}
+
+// writeFileAtomic writes data via a temp file and rename, so a crash
+// mid-write never leaves a truncated result on disk.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

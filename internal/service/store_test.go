@@ -1,0 +1,227 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// storeRes builds a minimal distinct result for store tests.
+func storeRes(scenarioName, algo, fp string) StoredResult {
+	return StoredResult{
+		Scenario:    scenarioName,
+		Algorithm:   algo,
+		Fingerprint: fp,
+		Objectives:  ObjectivesFull,
+		Front:       []FrontPoint{{Config: []int{1, 2}, Objs: []float64{1, 2, 3}}},
+	}
+}
+
+// TestStoreEvictionBoundaries pins the LRU policy at its edges: a store
+// bounded at 2 holds exactly 2, eviction order follows recency (Get
+// refreshes it), and the key index never dangles after eviction.
+func TestStoreEvictionBoundaries(t *testing.T) {
+	s, err := NewStore(StoreConfig{MaxResults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := mustPut(t, s, storeRes("a", "nsga2", "fpA"))
+	v2 := mustPut(t, s, storeRes("b", "nsga2", "fpB"))
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", s.Len())
+	}
+	// Touch v1 so v2 becomes the LRU victim of the next Put.
+	if _, ok := s.Get(v1); !ok {
+		t.Fatal("v1 missing before eviction")
+	}
+	v3 := mustPut(t, s, storeRes("c", "nsga2", "fpC"))
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d after third put, want 2", s.Len())
+	}
+	if _, ok := s.Get(v2); ok {
+		t.Fatal("v2 survived despite being least recently used")
+	}
+	for _, v := range []int{v1, v3} {
+		if _, ok := s.Get(v); !ok {
+			t.Fatalf("v%d evicted, want retained", v)
+		}
+	}
+	// The evicted version's key index entry is gone with it.
+	if _, ok := s.LatestByKey(ResultKey("fpB", ObjectivesFull, "nsga2")); ok {
+		t.Fatal("key index still resolves the evicted result")
+	}
+	// An evicted version number is never reused.
+	v4 := mustPut(t, s, storeRes("d", "nsga2", "fpD"))
+	if v4 != v3+1 {
+		t.Fatalf("version after eviction %d, want %d", v4, v3+1)
+	}
+
+	// Boundary: a bound of 1 holds exactly the newest put.
+	one, err := NewStore(StoreConfig{MaxResults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, one, storeRes("a", "nsga2", "fpA"))
+	last := mustPut(t, one, storeRes("b", "nsga2", "fpB"))
+	if one.Len() != 1 {
+		t.Fatalf("bound-1 store holds %d", one.Len())
+	}
+	if _, ok := one.Get(last); !ok {
+		t.Fatal("bound-1 store lost the newest result")
+	}
+}
+
+// TestStoreConcurrentPutQuery hammers Put, Get, Query and LatestByKey
+// from many goroutines (run under -race) and then checks the
+// version/key indexes agree with each other.
+func TestStoreConcurrentPutQuery(t *testing.T) {
+	s, err := NewStore(StoreConfig{MaxResults: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, reads = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				fp := fmt.Sprintf("fp%d", (w*reads+i)%16)
+				if _, err := s.Put(storeRes("s", "nsga2", fp)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				s.Get(i + 1)
+				s.LatestByKey(ResultKey(fmt.Sprintf("fp%d", i%16), ObjectivesFull, "nsga2"))
+				s.Query(ResultQuery{Fingerprint: fmt.Sprintf("fp%d", i%16), Limit: 4})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 64 {
+		t.Fatalf("Len() = %d, want the 64 bound", s.Len())
+	}
+	// Index consistency: every result the full query surfaces must be
+	// reachable through its own content key, and per-key totals must sum
+	// to the retained count.
+	all, total := s.Query(ResultQuery{})
+	if total != 64 || len(all) != 64 {
+		t.Fatalf("full query %d/%d, want 64/64", len(all), total)
+	}
+	perKey := map[string]int{}
+	for _, r := range all {
+		perKey[r.Key]++
+		hit, ok := s.LatestByKey(r.Key)
+		if !ok {
+			t.Fatalf("version %d unreachable through key %s", r.Version, r.Key)
+		}
+		if hit.Key != r.Key {
+			t.Fatalf("key index returned %s for %s", hit.Key, r.Key)
+		}
+	}
+	sum := 0
+	for key, n := range perKey {
+		_, keyTotal := s.Query(ResultQuery{Key: key})
+		if keyTotal != n {
+			t.Fatalf("key %s: query total %d, full scan saw %d", key, keyTotal, n)
+		}
+		sum += keyTotal
+	}
+	if sum != 64 {
+		t.Fatalf("per-key totals sum to %d, want 64", sum)
+	}
+}
+
+// TestStorePersistenceRoundTrip kills and recreates the Store on the
+// same directory: surviving results, the continuing version counter, and
+// recorded evictions must all round-trip through the on-disk index.
+func TestStorePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(StoreConfig{Dir: dir, MaxResults: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, storeRes("a", "nsga2", "fpA"))
+	v2 := mustPut(t, s, storeRes("b", "mosa", "fpB"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewStore(StoreConfig{Dir: dir, MaxResults: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store holds %d results, want 2", s2.Len())
+	}
+	r, ok := s2.Get(v2)
+	if !ok || r.Scenario != "b" || r.Algorithm != "mosa" || len(r.Front) != 1 {
+		t.Fatalf("reopened v2 = %+v, %v", r, ok)
+	}
+	if r.Key != ResultKey("fpB", ObjectivesFull, "mosa") {
+		t.Fatalf("reopened key %q", r.Key)
+	}
+	// The version counter continues where the dead process stopped.
+	v3 := mustPut(t, s2, storeRes("c", "nsga2", "fpC"))
+	if v3 != v2+1 {
+		t.Fatalf("post-restart version %d, want %d", v3, v2+1)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a tighter bound: the store trims to it immediately and
+	// the trim survives yet another restart.
+	s3, err := NewStore(StoreConfig{Dir: dir, MaxResults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 1 {
+		t.Fatalf("tight reopen holds %d, want 1", s3.Len())
+	}
+	if _, ok := s3.Get(v3); !ok {
+		t.Fatal("tight reopen kept a stale result instead of the newest")
+	}
+	s3.Close()
+	s4, err := NewStore(StoreConfig{Dir: dir, MaxResults: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s4.Close()
+	if s4.Len() != 1 {
+		t.Fatalf("store after trimmed restart holds %d, want 1", s4.Len())
+	}
+
+	// Crash tolerance: a torn final index line (no trailing newline, half
+	// a record) must not prevent reopening, and everything before the
+	// tear survives.
+	tornDir := t.TempDir()
+	s5, err := NewStore(StoreConfig{Dir: tornDir, MaxResults: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s5, storeRes("a", "nsga2", "fpA"))
+	s5.Close()
+	f, err := os.OpenFile(filepath.Join(tornDir, "index.jsonl"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"put","ver`)
+	f.Close()
+	s6, err := NewStore(StoreConfig{Dir: tornDir, MaxResults: 8})
+	if err != nil {
+		t.Fatalf("torn index line broke reopen: %v", err)
+	}
+	defer s6.Close()
+	if s6.Len() != 1 {
+		t.Fatalf("store after torn line holds %d, want 1", s6.Len())
+	}
+}

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"wsndse/internal/scenario"
+	"wsndse/internal/scenario/family"
+)
+
+// registerSweepMember materializes one chipset-sweep member and puts it
+// in the scenario registry (idempotent — family.Enable uses the same
+// fingerprint-checked path), returning its registered name.
+func registerSweepMember(t testing.TB, platformName string) string {
+	t.Helper()
+	f, ok := family.Lookup("chipset-sweep")
+	if !ok {
+		t.Fatal("chipset-sweep family not registered")
+	}
+	v := family.Values{"platform": platformName, "nodes": "n4", "mix": "homo", "payload": "short", "traffic": "uniform"}
+	s, err := f.Scenario(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existing, ok := scenario.Lookup(s.Name); ok {
+		if existing.Fingerprint() != s.Fingerprint() {
+			t.Fatalf("member %s already registered with different content", s.Name)
+		}
+		return s.Name
+	}
+	if err := scenario.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	return s.Name
+}
+
+func TestWarmStartAutoExactHit(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	defer m.Close()
+
+	cold, err := m.Submit(smallNSGA2("ecg-ward", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldInfo := waitDone(t, m, cold.ID)
+	if coldInfo.WarmStart != nil {
+		t.Fatalf("cold job reports warm start %+v", coldInfo.WarmStart)
+	}
+
+	spec := smallNSGA2("ecg-ward", 8)
+	spec.WarmStart = WarmStartAuto
+	warm, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, m, warm.ID)
+	if info.Status != StatusDone {
+		t.Fatalf("warm job %s: %s", info.Status, info.Error)
+	}
+	ws := info.WarmStart
+	if ws == nil {
+		t.Fatal("warm_start auto against a primed store reported nothing")
+	}
+	if ws.Mode != WarmStartAuto || !ws.Exact || ws.SeedPoints == 0 {
+		t.Fatalf("warm start info %+v", ws)
+	}
+	if len(ws.Sources) != 1 || ws.Sources[0] != coldInfo.ResultVersion {
+		t.Fatalf("warm start sources %v, want [%d]", ws.Sources, coldInfo.ResultVersion)
+	}
+}
+
+// TestWarmStartAutoAgainstEmptyStore: auto degrades to a cold run.
+func TestWarmStartAutoAgainstEmptyStore(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	defer m.Close()
+	spec := smallNSGA2("ecg-ward", 3)
+	spec.WarmStart = WarmStartAuto
+	info, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, info.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("job %s: %s", final.Status, final.Error)
+	}
+	if final.WarmStart != nil {
+		t.Fatalf("empty-store auto run reports %+v", final.WarmStart)
+	}
+	// And it is bit-identical to a plain cold run of the same spec.
+	coldInfo, err := m.Submit(smallNSGA2("ecg-ward", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, coldInfo.ID)
+	a, _ := m.Front(info.ID)
+	b, _ := m.Front(coldInfo.ID)
+	if !reflect.DeepEqual(a.Front, b.Front) {
+		t.Fatal("empty-store auto run differs from cold run")
+	}
+}
+
+func TestWarmStartExplicitVersion(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	defer m.Close()
+	cold, err := m.Submit(smallNSGA2("ecg-ward", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldInfo := waitDone(t, m, cold.ID)
+
+	for _, form := range []string{"1", "v1"} {
+		spec := smallNSGA2("ecg-ward", 9)
+		spec.WarmStart = form
+		warm, err := m.Submit(spec)
+		if err != nil {
+			t.Fatalf("warm_start %q rejected: %v", form, err)
+		}
+		info := waitDone(t, m, warm.ID)
+		ws := info.WarmStart
+		if ws == nil || ws.Mode != "version" || !ws.Exact || ws.SeedPoints == 0 {
+			t.Fatalf("warm_start %q info %+v", form, ws)
+		}
+		if len(ws.Sources) != 1 || ws.Sources[0] != coldInfo.ResultVersion {
+			t.Fatalf("warm_start %q sources %v", form, ws.Sources)
+		}
+	}
+
+	// A version the store does not hold fails at submit time.
+	spec := smallNSGA2("ecg-ward", 9)
+	spec.WarmStart = "v999"
+	if _, err := m.Submit(spec); err == nil || !strings.Contains(err.Error(), "not in the result store") {
+		t.Fatalf("missing warm-start version accepted: %v", err)
+	}
+	// Malformed values fail validation.
+	for _, bad := range []string{"banana", "v-3", "0", "-1", "vv2"} {
+		spec.WarmStart = bad
+		if _, err := m.Submit(spec); err == nil {
+			t.Fatalf("malformed warm_start %q accepted", bad)
+		}
+	}
+}
+
+// TestWarmStartNearMissTransfer is the transfer-seeding scenario from
+// the chipset-sweep workload: no front exists for this member, but a
+// sibling (same family, different platform) has one, and its decision
+// vectors seed the new search.
+func TestWarmStartNearMissTransfer(t *testing.T) {
+	donor := registerSweepMember(t, "telosb")
+	target := registerSweepMember(t, "micaz")
+
+	m := newTestManager(t, Config{Workers: 1})
+	defer m.Close()
+	cold, err := m.Submit(smallNSGA2(donor, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldInfo := waitDone(t, m, cold.ID)
+	if coldInfo.Status != StatusDone {
+		t.Fatalf("donor job %s: %s", coldInfo.Status, coldInfo.Error)
+	}
+
+	spec := smallNSGA2(target, 8)
+	spec.WarmStart = WarmStartAuto
+	warm, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, m, warm.ID)
+	if info.Status != StatusDone {
+		t.Fatalf("warm job %s: %s", info.Status, info.Error)
+	}
+	ws := info.WarmStart
+	if ws == nil {
+		t.Fatal("sibling front did not seed the run")
+	}
+	if ws.Exact {
+		t.Fatalf("near-miss transfer claims an exact hit: %+v", ws)
+	}
+	if ws.SeedPoints == 0 || len(ws.Sources) != 1 || ws.Sources[0] != coldInfo.ResultVersion {
+		t.Fatalf("transfer info %+v, want seeds from version %d", ws, coldInfo.ResultVersion)
+	}
+}
+
+// TestWarmStartDeterministic: two managers with identical store content
+// produce bit-identical warm-started fronts — seeding is part of the
+// determinism contract, not an exception to it.
+func TestWarmStartDeterministic(t *testing.T) {
+	runWarm := func() []FrontPoint {
+		m := newTestManager(t, Config{Workers: 1})
+		defer m.Close()
+		cold, err := m.Submit(smallNSGA2("ecg-ward", 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, m, cold.ID)
+		spec := smallNSGA2("ecg-ward", 21)
+		spec.WarmStart = WarmStartAuto
+		warm, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := waitDone(t, m, warm.ID)
+		if info.WarmStart == nil || info.WarmStart.SeedPoints == 0 {
+			t.Fatalf("warm start info %+v", info.WarmStart)
+		}
+		front, err := m.Front(warm.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return front.Front
+	}
+	if a, b := runWarm(), runWarm(); !reflect.DeepEqual(a, b) {
+		t.Fatal("warm-started fronts differ across identical managers")
+	}
+}
+
+// TestResolveWarmStartOff covers the off/empty fast path and the
+// baseline-objectives guard: a two-objective front must never seed a
+// three-objective search even for the same scenario content.
+func TestResolveWarmStartOff(t *testing.T) {
+	s, err := NewStore(StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range []string{"", WarmStartOff} {
+		seeds, info, err := ResolveWarmStart(s, ws, "fp", ObjectivesFull, "nsga2", "ecg-ward", nil)
+		if seeds != nil || info != nil || err != nil {
+			t.Fatalf("warm_start %q: %v %v %v", ws, seeds, info, err)
+		}
+	}
+
+	sc, _ := scenario.Lookup("ecg-ward")
+	fp := sc.Fingerprint()
+	mustPut(t, s, StoredResult{
+		Scenario: "ecg-ward", Algorithm: "nsga2", Fingerprint: fp,
+		Objectives: ObjectivesBaseline,
+		Front:      []FrontPoint{{Config: []int{0, 0}, Objs: []float64{1, 2}}},
+	})
+	// The key embeds the objective set, so the baseline front is not an
+	// exact hit for a full-objective search; ecg-ward has no family, so
+	// there is no near-miss path either → cold.
+	seeds, info, err := ResolveWarmStart(s, WarmStartAuto, fp, ObjectivesFull, "nsga2", "ecg-ward", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds != nil || info != nil {
+		t.Fatalf("baseline front seeded a full-objective search: %v %+v", seeds, info)
+	}
+}
