@@ -52,6 +52,8 @@ func main() {
 		resultsDir    = flag.String("results-dir", "", "persist the result store to this directory (fronts survive restarts and warm-start new jobs)")
 		maxResults    = flag.Int("max-results", 0, "result store bound before LRU eviction (0 selects the default)")
 		familySpec    = flag.String("family", "", "enable scenario families before serving: a name, comma list, or 'all'")
+		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "max duration for reading a full request (0 disables)")
+		writeTimeout  = flag.Duration("write-timeout", 60*time.Second, "max duration for writing a response; SSE streams are exempt (0 disables)")
 	)
 	flag.Parse()
 
@@ -83,7 +85,17 @@ func main() {
 	// callers (the CI smoke test, scripts) learn the actual port.
 	fmt.Printf("wsn-serve: listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: service.NewHandler(m)}
+	// Real timeouts: a client that stalls mid-headers or never reads its
+	// response must not pin a connection forever. The events handler clears
+	// its own write deadline, so long-lived SSE streams survive
+	// WriteTimeout; everything else is a bounded request/response.
+	srv := &http.Server{
+		Handler:           service.NewHandler(m),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

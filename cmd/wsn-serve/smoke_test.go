@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"wsndse/internal/service"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata golden fronts from the current run")
@@ -237,6 +239,71 @@ func TestServeWarmRestartSmoke(t *testing.T) {
 		t.Fatalf("warm sources %v, want [%d]", ws.Sources, page.Items[0].Version)
 	}
 	checkGolden(t, fetchFront(t, base, id), "smoke-front-warm.json")
+}
+
+// TestServeCrashResumeSmoke is the crash-recovery gate over the deployed
+// binary: a checkpointing job's server is SIGKILLed mid-run, a fresh
+// process resumes the job from the durable checkpoint left behind, and
+// the resumed front must match — bit for bit — the golden pinned by an
+// uninterrupted run of the same spec. This is the end-to-end proof that
+// kill -9 costs wall-clock, never results.
+func TestServeCrashResumeSmoke(t *testing.T) {
+	bin := serveBinary(t)
+	// Big enough that checkpoints exist well before completion; even if the
+	// job does finish before the kill lands, resuming from the last
+	// checkpoint replays the same trajectory, so the test cannot race.
+	const restartSpec = `{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,"checkpoint_every":100,
+  "nsga2":{"population_size":16,"generations":1500}}`
+
+	// Reference: the uninterrupted run pins the golden.
+	base, stop := startServe(t, bin)
+	checkGolden(t, runJob(t, base, restartSpec), "smoke-front-restart.json")
+	stop()
+
+	// Victim: same spec with a durable checkpoint directory, killed once a
+	// verified checkpoint is on disk.
+	ckptDir := t.TempDir()
+	base, stop = startServe(t, bin, "-checkpoint-dir", ckptDir)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(restartSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	decodeBody(t, resp, http.StatusCreated, &job)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := service.LoadSnapshot(ckptDir, job.ID); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no durable checkpoint appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop() // SIGKILL: no graceful shutdown, no final checkpoint flush
+
+	// Restart: a fresh process resumes from whatever the dead one left.
+	snap, err := service.LoadSnapshot(ckptDir, job.ID)
+	if err != nil {
+		t.Fatalf("loading the dead server's checkpoint: %v", err)
+	}
+	if snap.Step < 1 {
+		t.Fatalf("checkpoint at step %d", snap.Step)
+	}
+	base, _ = startServe(t, bin, "-checkpoint-dir", ckptDir)
+	resumeSpec := map[string]any{
+		"scenario": "ecg-ward", "algorithm": "nsga2", "seed": int64(7), "workers": 2,
+		"checkpoint_every": 100,
+		"nsga2":            map[string]int{"population_size": 16, "generations": 1500},
+		"resume":           snap,
+	}
+	data, err := json.Marshal(resumeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, runJob(t, base, string(data)), "smoke-front-restart.json")
 }
 
 // TestServeFamilySmoke is the same gate over the generated population: the

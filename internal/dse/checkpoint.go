@@ -1,7 +1,10 @@
 package dse
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -180,6 +183,62 @@ func (s *Snapshot) validateResume(algo string, space *Space) error {
 		}
 	}
 	return nil
+}
+
+// ErrCorruptSnapshot marks a durable snapshot whose bytes do not match
+// their recorded checksum (or do not parse at all) — the signature of a
+// write torn by a crash. Callers distinguish it from "no snapshot" with
+// errors.Is and fall back to an older checkpoint.
+var ErrCorruptSnapshot = errors.New("dse: corrupt snapshot file")
+
+// snapshotEnvelope is the durable on-disk form of a Snapshot: the
+// serialized snapshot plus a SHA-256 over exactly those bytes. The
+// checksum is what makes crash recovery *detectable* rather than
+// best-effort — a checkpoint file torn mid-write (truncated tail,
+// interleaved garbage) fails verification instead of resuming a run
+// from silently wrong state.
+type snapshotEnvelope struct {
+	Version  int             `json:"version"`
+	SHA256   string          `json:"sha256"`
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+// EncodeSnapshotFile serializes snap into its durable envelope form:
+// {"version":1,"sha256":"...","snapshot":{...}}.
+func EncodeSnapshotFile(snap *Snapshot) ([]byte, error) {
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(raw)
+	return json.Marshal(snapshotEnvelope{
+		Version:  SnapshotVersion,
+		SHA256:   hex.EncodeToString(sum[:]),
+		Snapshot: raw,
+	})
+}
+
+// DecodeSnapshotFile parses an envelope produced by EncodeSnapshotFile,
+// verifying the checksum before trusting any field of the snapshot.
+// Undecodable bytes and checksum mismatches both return an error wrapping
+// ErrCorruptSnapshot.
+func DecodeSnapshotFile(data []byte) (*Snapshot, error) {
+	var env snapshotEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if len(env.Snapshot) == 0 || env.SHA256 == "" {
+		return nil, fmt.Errorf("%w: missing snapshot or checksum", ErrCorruptSnapshot)
+	}
+	sum := sha256.Sum256(env.Snapshot)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, fmt.Errorf("%w: checksum mismatch (torn write?)", ErrCorruptSnapshot)
+	}
+	snap := &Snapshot{}
+	if err := json.Unmarshal(env.Snapshot, snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	return snap, nil
 }
 
 // restoreArchive rebuilds an Archive from snapshot points. The stored set

@@ -59,6 +59,43 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSupervisedJobOverhead is BenchmarkServiceThroughput/jobs1's
+// workload run with the supervision features armed on every job —
+// MaxRetries budget, a deadline clock, panic recovery, disarmed
+// faultinject hook points — and none of them firing. The jobs/s must
+// stay within ~2% of ServiceThroughput/jobs1: crash-safety is paid for
+// by crashing jobs, not by every healthy one.
+func BenchmarkSupervisedJobOverhead(b *testing.B) {
+	m := newTestManager(b, Config{Workers: 1, QueueLimit: 4})
+	defer m.Close()
+	ctx := context.Background()
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info, err := m.Submit(Spec{
+			Scenario:        "ecg-ward",
+			Algorithm:       AlgoNSGA2,
+			Seed:            int64(i),
+			Workers:         1,
+			MaxRetries:      2,
+			DeadlineSeconds: 60,
+			NSGA2:           &dse.NSGA2Config{PopulationSize: 8, Generations: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		final, err := m.Wait(ctx, info.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final.Status != StatusDone || final.Attempts != 1 {
+			b.Fatalf("job %s: %s after %d attempts (%s)", info.ID, final.Status, final.Attempts, final.Error)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
+}
+
 // BenchmarkSSEFanout measures the event hub broadcasting one progress
 // event to N subscribers — the per-generation cost a popular job pays
 // with many SSE watchers attached.

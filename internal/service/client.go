@@ -5,12 +5,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"wsndse/internal/dse"
 )
@@ -18,10 +20,33 @@ import (
 // Client is the Go wrapper around the wsn-serve HTTP API. The zero
 // HTTPClient falls back to http.DefaultClient; BaseURL is the server root
 // (e.g. "http://127.0.0.1:8080").
+//
+// The client rides out transient server trouble on its own: idempotent
+// calls (every GET and DELETE — cancel is idempotent by design) retry
+// with capped exponential backoff on transport errors and 502/503/504,
+// and Events/Wait transparently reconnect a dropped SSE stream, resuming
+// via Last-Event-ID. Submit is never retried: the caller cannot know
+// whether a dead connection's job was enqueued.
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	// MaxRetries bounds the retries after a failed idempotent call (and
+	// the consecutive no-progress reconnects of an event stream). 0
+	// selects DefaultClientRetries; negative disables retrying.
+	MaxRetries int
+	// RetryBaseDelay/RetryMaxDelay shape the backoff between retries
+	// (zero selects DefaultClientRetryBase/DefaultClientRetryMax).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 }
+
+// Client retry defaults: up to 3 retries, backoff 250ms → 5s. Tuned for
+// "the server is restarting", not "the server is gone".
+const (
+	DefaultClientRetries   = 3
+	DefaultClientRetryBase = 250 * time.Millisecond
+	DefaultClientRetryMax  = 5 * time.Second
+)
 
 // NewClient returns a client for the given server root.
 func NewClient(baseURL string) *Client {
@@ -33,6 +58,45 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return DefaultClientRetries
+	}
+	return c.MaxRetries
+}
+
+// backoff computes the delay before retry number `retry` (1-based),
+// reusing the manager's capped-exponential-with-jitter shape.
+func (c *Client) backoff(retry int) time.Duration {
+	base, max := c.RetryBaseDelay, c.RetryMaxDelay
+	if base <= 0 {
+		base = DefaultClientRetryBase
+	}
+	if max <= 0 {
+		max = DefaultClientRetryMax
+	}
+	return retryDelay(retry, base, max)
+}
+
+// retryableError reports whether err is worth retrying an idempotent
+// call for: transport-level failures (connection refused/reset — the
+// restart window) and the gateway-flavored 5xx statuses. Every other
+// *APIError is a definitive answer from a live server.
+func retryableError(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return true
 }
 
 // APIError is a non-2xx response from the server, carrying the
@@ -86,21 +150,48 @@ func decodeAPIError(statusCode int, body io.Reader) *APIError {
 
 // do issues the request and decodes the JSON response into out (skipped
 // when out is nil). Non-2xx responses come back as a wrapped *APIError
-// (reach it with errors.As).
+// (reach it with errors.As). Requests without a body — idempotent by
+// construction in this API — are retried on transient failures; a POST
+// is attempted exactly once.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
+		payload = data
+	}
+	retries := 0
+	if in == nil {
+		retries = c.retries()
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= retries || !retryableError(err) || ctx.Err() != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(c.backoff(attempt + 1)):
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -114,7 +205,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	// Buffer before unmarshalling so a connection cut mid-body surfaces as
+	// a retryable read error, never as out half-filled by a partial decode.
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
 }
 
 // pageParams encodes limit/offset into q (omitting zero values).
@@ -282,15 +379,88 @@ func (c *Client) QueryResults(q ResultQuery) ([]StoredResult, error) {
 }
 
 // Events consumes the job's SSE stream, invoking fn for each event until
-// fn returns false, the stream ends (job terminal), or ctx expires. A nil
-// error means the stream ended normally.
+// fn returns false, the job reaches a terminal state, or ctx expires. A
+// nil error means the stream ended normally.
+//
+// Dropped connections are survived, not surfaced: Events reconnects with
+// backoff, sends the last sequence number seen as Last-Event-ID so the
+// server resumes instead of replaying, and suppresses any duplicate
+// events a replaying server sends anyway — fn observes each Seq at most
+// once, strictly increasing. Reconnects that make forward progress reset
+// the retry budget; MaxRetries consecutive fruitless reconnects (or a
+// definitive API error such as not_found) end the stream with an error.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) error {
+	var (
+		lastSeq  int
+		terminal bool
+		stopped  bool
+	)
+	handle := func(e Event) bool {
+		if e.Seq <= lastSeq {
+			return true // duplicate from a replaying reconnect
+		}
+		lastSeq = e.Seq
+		if e.Type == "status" && e.Status.Terminal() {
+			terminal = true
+		}
+		if !fn(e) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	fruitless := 0
+	for {
+		before := lastSeq
+		err := c.streamEvents(ctx, id, lastSeq, handle)
+		switch {
+		case stopped:
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && !retryableError(err) {
+			return err // a live server said no (not_found, ...): reconnecting won't help
+		}
+		if err == nil && terminal {
+			return nil // clean end after the terminal status event: the job's story is over
+		}
+		// The stream died mid-job (connection cut, server restart) or ended
+		// without a terminal event. Reconnect — with a fresh retry budget if
+		// this attempt delivered anything new.
+		if lastSeq > before {
+			fruitless = 0
+			continue
+		}
+		fruitless++
+		if fruitless > c.retries() {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("service: event stream for job %s ended before the job finished", id)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.backoff(fruitless)):
+		}
+	}
+}
+
+// streamEvents runs one SSE connection: it subscribes after afterSeq and
+// feeds parsed events to handle until handle returns false, the stream
+// ends, or ctx expires.
+func (c *Client) streamEvents(ctx context.Context, id string, afterSeq int, handle func(Event) bool) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if afterSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(afterSeq))
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -313,7 +483,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) err
 				return fmt.Errorf("service: malformed event: %w", err)
 			}
 			data = data[:0]
-			if !fn(e) {
+			if !handle(e) {
 				return nil
 			}
 		}
@@ -326,7 +496,9 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) err
 
 // Wait streams events until the job reaches a terminal state (calling
 // onEvent for each event if non-nil), then returns the final job info.
-// It degrades to the job's current state if the stream ends early.
+// Because Events reconnects through dropped streams and Job retries
+// through restart windows, Wait survives a server that dies and comes
+// back mid-job.
 func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (JobInfo, error) {
 	err := c.Events(ctx, id, func(e Event) bool {
 		if onEvent != nil {

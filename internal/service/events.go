@@ -4,13 +4,15 @@ import "sync"
 
 // Event is one entry in a job's event stream. Status events mark
 // lifecycle transitions; progress events carry boundary snapshots. Seq is
-// monotonically increasing per job, so a reconnecting consumer can detect
-// what it missed.
+// monotonically increasing per job — it doubles as the SSE event id, so a
+// reconnecting consumer resumes exactly where its stream died
+// (Last-Event-ID → SubscribeFrom) instead of replaying or skipping.
 type Event struct {
 	Seq      int           `json:"seq"`
 	Type     string        `json:"type"` // "status" | "progress"
 	Status   Status        `json:"status,omitempty"`
 	Error    string        `json:"error,omitempty"`
+	Attempt  int           `json:"attempt,omitempty"` // which run attempt emitted this (1-based; 0 before the first)
 	Progress *ProgressInfo `json:"progress,omitempty"`
 }
 
@@ -91,9 +93,25 @@ func (h *hub) close() {
 // After the hub closes the channel is closed; cancel is idempotent and
 // safe after close.
 func (h *hub) subscribe() (replay []Event, ch <-chan Event, cancel func()) {
+	return h.subscribeFrom(0)
+}
+
+// subscribeFrom is subscribe with the replay restricted to events after
+// sequence number afterSeq — the resume path for SSE reconnects carrying
+// Last-Event-ID.
+func (h *hub) subscribeFrom(afterSeq int) (replay []Event, ch <-chan Event, cancel func()) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	replay = h.replayLocked()
+	if afterSeq > 0 {
+		kept := replay[:0]
+		for _, e := range replay {
+			if e.Seq > afterSeq {
+				kept = append(kept, e)
+			}
+		}
+		replay = kept
+	}
 	c := make(chan Event, subBuffer)
 	if h.closed {
 		close(c)

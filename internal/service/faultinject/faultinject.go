@@ -1,0 +1,263 @@
+// Package faultinject provides process-wide fault-injection hooks for the
+// exploration service's supervision layer. Production code consults the
+// hooks at well-defined failure points — search boundaries, checkpoint
+// file writes, result-store file writes — and a chaos test arms them to
+// inject the faults the supervisor must survive: a panicking evaluator,
+// a full disk, a torn (partially written) checkpoint.
+//
+// All hooks default to disabled and the disabled fast path is a single
+// atomic load, so shipping the hook points in production builds costs
+// nothing measurable (BenchmarkSupervisedJobOverhead pins this). Hooks
+// are global to the process: tests that arm them must not run in
+// parallel with each other and should defer Reset.
+//
+// The package also ships FlakyProxy, a byte-counting TCP proxy that
+// kills connections mid-stream — the transport-level fault that drives
+// the client's SSE auto-reconnect tests.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// armed is the fast-path gate: when false (the default), every hook
+// point returns immediately after one atomic load.
+var armed atomic.Bool
+
+var (
+	mu             sync.Mutex
+	boundaryHook   func(jobID, algorithm string, step int)
+	checkpointHook func(path string, data []byte) ([]byte, error)
+	storeHook      func(path string) error
+)
+
+// InjectedPanic is the value injected boundary panics carry, so chaos
+// tests (and curious humans reading a failed job's stack) can tell an
+// injected fault from a genuine bug.
+type InjectedPanic struct {
+	JobID string
+	Step  int
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic in job %s at step %d", p.JobID, p.Step)
+}
+
+// rearm recomputes the fast-path gate. Caller holds mu.
+func rearm() {
+	armed.Store(boundaryHook != nil || checkpointHook != nil || storeHook != nil)
+}
+
+// Reset disarms every hook. Tests defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	boundaryHook, checkpointHook, storeHook = nil, nil, nil
+	rearm()
+}
+
+// SetBoundaryHook installs fn at the search-boundary point: the service
+// supervisor calls Boundary from its progress sink — on the search
+// goroutine, between generations/segments — and fn may panic to simulate
+// an evaluator crash at an exact, reproducible step. nil disarms.
+func SetBoundaryHook(fn func(jobID, algorithm string, step int)) {
+	mu.Lock()
+	defer mu.Unlock()
+	boundaryHook = fn
+	rearm()
+}
+
+// SetCheckpointWriteHook installs fn at the checkpoint-file-write point:
+// it receives the bytes about to be written and returns the bytes that
+// actually reach the file — return a prefix to simulate a torn write
+// (process killed mid-write), or an error to simulate a full disk. nil
+// disarms.
+func SetCheckpointWriteHook(fn func(path string, data []byte) ([]byte, error)) {
+	mu.Lock()
+	defer mu.Unlock()
+	checkpointHook = fn
+	rearm()
+}
+
+// SetStoreWriteHook installs fn at the result-store file-write point; a
+// non-nil error fails the write. nil disarms.
+func SetStoreWriteHook(fn func(path string) error) {
+	mu.Lock()
+	defer mu.Unlock()
+	storeHook = fn
+	rearm()
+}
+
+// PanicOnceAtStep arms the boundary hook to panic (with an InjectedPanic
+// value) the first `times` times any job reaches boundary `step`.
+func PanicOnceAtStep(step, times int) {
+	var remaining atomic.Int64
+	remaining.Store(int64(times))
+	SetBoundaryHook(func(jobID, algorithm string, s int) {
+		if s == step && remaining.Add(-1) >= 0 {
+			panic(InjectedPanic{JobID: jobID, Step: s})
+		}
+	})
+}
+
+// Boundary is the hook point the supervisor's progress sink calls at
+// every search boundary. Disabled: one atomic load.
+func Boundary(jobID, algorithm string, step int) {
+	if !armed.Load() {
+		return
+	}
+	mu.Lock()
+	fn := boundaryHook
+	mu.Unlock()
+	if fn != nil {
+		fn(jobID, algorithm, step)
+	}
+}
+
+// CheckpointWrite is the hook point for checkpoint file writes: it maps
+// the intended bytes to the bytes that reach disk, or fails the write.
+func CheckpointWrite(path string, data []byte) ([]byte, error) {
+	if !armed.Load() {
+		return data, nil
+	}
+	mu.Lock()
+	fn := checkpointHook
+	mu.Unlock()
+	if fn == nil {
+		return data, nil
+	}
+	return fn(path, data)
+}
+
+// StoreWrite is the hook point for result-store file writes.
+func StoreWrite(path string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	fn := storeHook
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(path)
+}
+
+// FlakyProxy is a TCP proxy that forcibly closes every proxied
+// connection after KillAfter response bytes — the "connection died
+// mid-SSE-stream" fault. Each reconnect gets a fresh allowance, so a
+// client that resumes via Last-Event-ID makes forward progress while a
+// client that restarts from scratch livelocks.
+type FlakyProxy struct {
+	target    string
+	killAfter int64
+	ln        net.Listener
+	kills     atomic.Int64
+	conns     atomic.Int64
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+
+	liveMu sync.Mutex
+	live   map[net.Conn]struct{}
+}
+
+// NewFlakyProxy starts a proxy in front of target (a host:port). Every
+// connection's server→client stream is cut after killAfter bytes;
+// killAfter <= 0 never kills (a transparent proxy).
+func NewFlakyProxy(target string, killAfter int64) (*FlakyProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &FlakyProxy{target: target, killAfter: killAfter, ln: ln, live: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *FlakyProxy) Addr() string { return p.ln.Addr().String() }
+
+// Kills reports how many connections the proxy has cut so far.
+func (p *FlakyProxy) Kills() int { return int(p.kills.Load()) }
+
+// Conns reports how many connections the proxy has accepted.
+func (p *FlakyProxy) Conns() int { return int(p.conns.Load()) }
+
+// Close stops accepting, force-closes every live relay (an idle
+// keep-alive connection would otherwise pin its relay goroutine until
+// the client's idle timeout), and waits for the relays to drain.
+func (p *FlakyProxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.ln.Close()
+	p.liveMu.Lock()
+	for conn := range p.live {
+		conn.Close()
+	}
+	p.liveMu.Unlock()
+	p.wg.Wait()
+}
+
+// track registers conn while open; the returned func deregisters it.
+func (p *FlakyProxy) track(conn net.Conn) func() {
+	p.liveMu.Lock()
+	p.live[conn] = struct{}{}
+	p.liveMu.Unlock()
+	return func() {
+		p.liveMu.Lock()
+		delete(p.live, conn)
+		p.liveMu.Unlock()
+	}
+}
+
+func (p *FlakyProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.conns.Add(1)
+		p.wg.Add(1)
+		go p.relay(conn)
+	}
+}
+
+// relay pumps bytes both ways, cutting the server→client direction after
+// the byte allowance. Closing both conns unblocks the opposite copier.
+func (p *FlakyProxy) relay(client net.Conn) {
+	defer p.wg.Done()
+	defer p.track(client)()
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	defer p.track(server)()
+	done := make(chan struct{}, 2)
+	go func() { // client → server (requests)
+		io.Copy(server, client)
+		done <- struct{}{}
+	}()
+	go func() { // server → client (responses), byte-bounded
+		if p.killAfter > 0 {
+			n, _ := io.CopyN(client, server, p.killAfter)
+			if n == p.killAfter {
+				p.kills.Add(1)
+			}
+		} else {
+			io.Copy(client, server)
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	client.Close()
+	server.Close()
+	<-done
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"wsndse/internal/casestudy"
 	"wsndse/internal/scenario"
@@ -29,6 +30,8 @@ const (
 	CodeConflict = "conflict"
 	// CodeQueueFull: the job queue is at its bound; retry later.
 	CodeQueueFull = "queue_full"
+	// CodeBodyTooLarge: the request body exceeded MaxBodyBytes.
+	CodeBodyTooLarge = "body_too_large"
 	// CodeUnavailable: the manager is shutting down.
 	CodeUnavailable = "unavailable"
 	// CodeInternal: unexpected server-side failure.
@@ -43,6 +46,13 @@ const (
 	DefaultPageLimit = 100
 	MaxPageLimit     = 500
 )
+
+// MaxBodyBytes caps request bodies (POST /v1/jobs). Specs are small —
+// the one legitimately large field is a resume snapshot, and even a
+// full-archive MOSA snapshot is well under a megabyte — so 8 MiB leaves
+// generous headroom while keeping a hostile client from buffering
+// gigabytes into the decoder. Larger bodies get 413 body_too_large.
+const MaxBodyBytes = 8 << 20
 
 // Page is the list envelope shared by every v1 collection endpoint: the
 // requested window plus the total match count, so clients can page
@@ -122,16 +132,29 @@ type ScenarioInfo struct {
 // "offset"}; results come back newest-first. Errors are
 // {"error": {"code": "...", "message": "..."}} with the conventional
 // status codes: 400 invalid_spec/invalid_argument, 404 not_found,
-// 409 conflict, 429 queue_full, 503 unavailable, 500 internal.
+// 409 conflict, 413 body_too_large, 429 queue_full, 503 unavailable,
+// 500 internal.
+//
+// The events stream honors the SSE Last-Event-ID request header: each
+// event's id is its per-job sequence number, and a reconnect carrying the
+// last id seen resumes after it instead of replaying history. Request
+// bodies are capped at MaxBodyBytes.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
-		dec := json.NewDecoder(r.Body)
+		body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+		dec := json.NewDecoder(body)
 		// Unknown fields fail fast: a typo like "algoritm" must be a 400,
 		// not a silently defaulted (and differently explored) job.
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+					fmt.Errorf("service: request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Errorf("decoding spec: %w", err))
 			return
 		}
@@ -250,19 +273,36 @@ func NewHandler(m *Manager) http.Handler {
 
 // serveEvents streams the job's event feed as server-sent events: replayed
 // history first, then live events until the job terminates or the client
-// disconnects. Each event is `id: <seq>\nevent: <type>\ndata: <json>`.
+// disconnects. Each event is `id: <seq>\nevent: <type>\ndata: <json>`; the
+// id line makes the Seq the SSE event id, so a reconnecting client's
+// Last-Event-ID header resumes the stream after the last event it saw.
 func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("service: response writer cannot stream"))
 		return
 	}
-	replay, ch, cancel, err := m.Subscribe(r.PathValue("id"))
+	afterSeq := 0
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				fmt.Errorf("service: Last-Event-ID %q is not a non-negative integer", raw))
+			return
+		}
+		afterSeq = n
+	}
+	replay, ch, cancel, err := m.SubscribeFrom(r.PathValue("id"), afterSeq)
 	if err != nil {
 		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	defer cancel()
+	// A long-lived stream must outlive the server's WriteTimeout (which
+	// exists to bound ordinary request handlers): clear the connection's
+	// write deadline for this response only. Failure is fine — a server
+	// without write timeouts has nothing to clear.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)

@@ -2,17 +2,17 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"log"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"wsndse/internal/casestudy"
 	"wsndse/internal/dse"
 	"wsndse/internal/scenario"
+	"wsndse/internal/service/faultinject"
 )
 
 // Config parameterizes a Manager. The zero value is usable: 2 concurrent
@@ -39,6 +39,16 @@ type Config struct {
 	// DefaultMaxResults); beyond it the least-recently-used front is
 	// evicted.
 	MaxResults int
+	// RetryBaseDelay/RetryMaxDelay shape the backoff between retry
+	// attempts of failed jobs (zero selects DefaultRetryBaseDelay/
+	// DefaultRetryMaxDelay). Tests shrink them.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// Logf receives the manager's degradation log lines — checkpoint and
+	// result-store write failures, retry announcements. Nil selects
+	// log.Printf. These are exactly the failures the manager survives
+	// rather than surfaces, so the log is their only trace.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +57,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueLimit <= 0 {
 		c.QueueLimit = 64
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = DefaultRetryBaseDelay
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = DefaultRetryMaxDelay
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 	return c
 }
@@ -69,10 +88,17 @@ type job struct {
 	spec     Spec            // normalized, Resume intact
 	ctx      context.Context // derived from the manager root; Cancel fires it
 	cancel   context.CancelFunc
+	runCtx   context.Context // ctx plus the job deadline; set once by runJob
 	hub      *hub
 	result   *dse.Result
 	snapshot *dse.Snapshot
-	done     chan struct{}
+	// seeds caches the warm-start resolution of the first attempt, so a
+	// retried job re-seeds from exactly the same fronts even if the store
+	// gained results in between — keeping every attempt's trajectory (and
+	// thus the retried job's final front) identical to attempt one's.
+	seeds         []dse.Config
+	seedsResolved bool
+	done          chan struct{}
 }
 
 // setStatus transitions the lifecycle under the job lock and publishes
@@ -89,11 +115,13 @@ func (j *job) setStatus(s Status, errMsg string) bool {
 	switch s {
 	case StatusRunning:
 		j.info.StartedAt = &now
-	case StatusDone, StatusFailed, StatusCancelled:
+	case StatusDone, StatusFailed, StatusTimedOut, StatusCancelled:
 		j.info.FinishedAt = &now
+		j.info.NextRetryAt = nil
 	}
+	attempt := j.info.Attempts
 	j.mu.Unlock()
-	j.hub.publish(Event{Type: "status", Status: s, Error: errMsg})
+	j.hub.publish(Event{Type: "status", Status: s, Error: errMsg, Attempt: attempt})
 	if s.Terminal() {
 		j.hub.close()
 		close(j.done)
@@ -330,9 +358,9 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobInfo, error) {
 }
 
 // Front returns the job's Pareto front: the full result for done jobs,
-// the partial front for cancelled ones. Queued/running/failed jobs return
-// ErrNotFinished (wrapped with the state, so callers can distinguish
-// not-yet from never).
+// the partial front for cancelled and timed-out ones. Queued/running/
+// failed jobs return ErrNotFinished (wrapped with the state, so callers
+// can distinguish not-yet from never).
 func (m *Manager) Front(id string) (FrontResponse, error) {
 	j, ok := m.lookup(id)
 	if !ok {
@@ -373,15 +401,26 @@ func (m *Manager) Checkpoint(id string) (*dse.Snapshot, error) {
 // Subscribe attaches to the job's event stream: replayed history plus a
 // live channel (closed when the job terminates). cancel detaches early.
 func (m *Manager) Subscribe(id string) (replay []Event, ch <-chan Event, cancel func(), err error) {
+	return m.SubscribeFrom(id, 0)
+}
+
+// SubscribeFrom is Subscribe with the replay filtered to events after
+// sequence number afterSeq — the server side of SSE resume via
+// Last-Event-ID, so a reconnecting consumer never re-reads history it
+// already processed. afterSeq 0 replays everything retained.
+func (m *Manager) SubscribeFrom(id string, afterSeq int) (replay []Event, ch <-chan Event, cancel func(), err error) {
 	j, ok := m.lookup(id)
 	if !ok {
 		return nil, nil, nil, ErrNotFound
 	}
-	replay, ch, cancel = j.hub.subscribe()
+	replay, ch, cancel = j.hub.subscribeFrom(afterSeq)
 	return replay, ch, cancel, nil
 }
 
-// runJob executes one job on a manager worker.
+// runJob supervises one job on a manager worker: it runs attempts under
+// panic recovery, classifies each outcome (success, cancelled, deadline,
+// failure), and walks the retry edge — backoff, then re-run from the
+// latest checkpoint — until the job reaches a terminal state.
 func (m *Manager) runJob(j *job) {
 	// Release the job's cancel context once the job is over: a child of
 	// the manager root stays registered with its parent until cancelled,
@@ -390,6 +429,7 @@ func (m *Manager) runJob(j *job) {
 	defer j.cancel()
 	j.mu.Lock()
 	status := j.info.Status
+	id := j.info.ID
 	j.mu.Unlock()
 	if status.Terminal() {
 		return // cancelled while queued
@@ -398,47 +438,117 @@ func (m *Manager) runJob(j *job) {
 		j.setStatus(StatusCancelled, j.ctx.Err().Error())
 		return
 	}
-	if !j.setStatus(StatusRunning, "") {
-		return
+
+	// The deadline clock starts when the job first runs (queue wait is
+	// the scheduler's fault, not the job's) and spans every retry.
+	j.runCtx = j.ctx
+	if d := j.spec.DeadlineSeconds; d > 0 {
+		var cancel context.CancelFunc
+		j.runCtx, cancel = context.WithTimeoutCause(j.ctx,
+			time.Duration(d*float64(time.Second)), errJobDeadline)
+		defer cancel()
 	}
-	res, err := m.execute(j)
-	j.mu.Lock()
-	j.result = res
-	id := j.info.ID
-	j.mu.Unlock()
-	switch {
-	case err == nil:
-		stored := StoredResult{
-			JobID:       id,
-			Scenario:    j.spec.Scenario,
-			Algorithm:   j.spec.Algorithm,
-			Objectives:  ObjectivesFull,
-			Seed:        j.spec.Seed,
-			Evaluated:   res.Evaluated,
-			Infeasible:  res.Infeasible,
-			Front:       frontPoints(res.Front),
-			CompletedAt: time.Now(),
+
+	for attempt := 1; ; attempt++ {
+		j.mu.Lock()
+		j.info.Attempts = attempt
+		j.info.NextRetryAt = nil
+		j.mu.Unlock()
+		if !j.setStatus(StatusRunning, "") {
+			return // cancelled during the retry wait, status already set
 		}
-		if sc, ok := scenario.Lookup(j.spec.Scenario); ok {
-			stored.Fingerprint = sc.Fingerprint()
-		}
-		version, perr := m.store.Put(stored)
-		if perr != nil {
-			// The search succeeded but its result cannot be archived: fail
-			// the job loudly (the front is still readable via /front) —
-			// same philosophy as checkpoint-write failures aborting runs.
-			j.setStatus(StatusFailed, fmt.Sprintf("archiving result: %v", perr))
+		res, err := m.runAttempt(j)
+		switch {
+		case err == nil:
+			j.mu.Lock()
+			j.result = res
+			j.mu.Unlock()
+			m.archive(j, id, res)
+			j.setStatus(StatusDone, "")
+			return
+		case errors.Is(err, context.DeadlineExceeded) || context.Cause(j.runCtx) == errJobDeadline:
+			j.mu.Lock()
+			j.result = res // partial front, like a cancelled run
+			j.mu.Unlock()
+			j.setStatus(StatusTimedOut, fmt.Sprintf("deadline of %gs exceeded", j.spec.DeadlineSeconds))
+			return
+		case errors.Is(err, context.Canceled):
+			j.mu.Lock()
+			j.result = res
+			j.mu.Unlock()
+			j.setStatus(StatusCancelled, context.Canceled.Error())
 			return
 		}
+
+		// Attempt failed (error or recovered panic). Out of retries →
+		// failed; otherwise walk the retry edge back to queued.
+		if attempt > j.spec.MaxRetries {
+			j.setStatus(StatusFailed, errMessage(err))
+			return
+		}
+		delay := retryDelay(attempt, m.cfg.RetryBaseDelay, m.cfg.RetryMaxDelay)
+		next := time.Now().Add(delay)
 		j.mu.Lock()
-		j.info.ResultVersion = version
+		j.info.NextRetryAt = &next
 		j.mu.Unlock()
-		j.setStatus(StatusDone, "")
-	case errors.Is(err, context.Canceled):
-		j.setStatus(StatusCancelled, context.Canceled.Error())
-	default:
-		j.setStatus(StatusFailed, err.Error())
+		if !j.setStatus(StatusQueued, errMessage(err)) {
+			return
+		}
+		m.cfg.Logf("service: job %s attempt %d/%d failed, retrying in %s: %v",
+			id, attempt, j.spec.MaxRetries+1, delay.Round(time.Millisecond), err)
+		select {
+		case <-j.runCtx.Done():
+			if context.Cause(j.runCtx) == errJobDeadline {
+				j.setStatus(StatusTimedOut, fmt.Sprintf("deadline of %gs exceeded", j.spec.DeadlineSeconds))
+			} else {
+				j.setStatus(StatusCancelled, context.Canceled.Error())
+			}
+			return
+		case <-time.After(delay):
+		}
 	}
+}
+
+// runAttempt executes one attempt under panic recovery: a panicking
+// evaluator (or progress/checkpoint hook on the search goroutine) becomes
+// a *PanicError carrying the stack, failing the attempt instead of the
+// process.
+func (m *Manager) runAttempt(j *job) (res *dse.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return m.execute(j)
+}
+
+// archive stores a finished job's front. Archiving failures degrade
+// gracefully: the job stays done (its front is readable via /front and
+// resumable via its checkpoint) and the failure is logged — a full disk
+// must cost durability, not the exploration budget already spent.
+func (m *Manager) archive(j *job, id string, res *dse.Result) {
+	stored := StoredResult{
+		JobID:       id,
+		Scenario:    j.spec.Scenario,
+		Algorithm:   j.spec.Algorithm,
+		Objectives:  ObjectivesFull,
+		Seed:        j.spec.Seed,
+		Evaluated:   res.Evaluated,
+		Infeasible:  res.Infeasible,
+		Front:       frontPoints(res.Front),
+		CompletedAt: time.Now(),
+	}
+	if sc, ok := scenario.Lookup(j.spec.Scenario); ok {
+		stored.Fingerprint = sc.Fingerprint()
+	}
+	version, err := m.store.Put(stored)
+	if err != nil {
+		m.cfg.Logf("service: job %s: archiving result failed (front still served from memory): %v", id, err)
+		return
+	}
+	j.mu.Lock()
+	j.info.ResultVersion = version
+	j.mu.Unlock()
 }
 
 // execute materializes the scenario's compiled pipeline and runs the
@@ -460,10 +570,22 @@ func (m *Manager) execute(j *job) (*dse.Result, error) {
 	}
 	eval := compiled.Evaluator()
 
+	// Retry attempts resume from the latest in-memory snapshot (kept in
+	// sync with the durable file), falling back to the spec's own Resume.
+	// Either way the trajectory from that point is deterministic, so the
+	// retried job's final front matches an uninterrupted run bit for bit.
+	j.mu.Lock()
+	resume := j.snapshot
+	j.mu.Unlock()
+	if resume == nil {
+		resume = spec.Resume
+	}
+
 	start := time.Now()
 	opts := dse.Options{
-		Context: j.ctx,
+		Context: j.runCtx,
 		Progress: func(p dse.Progress) {
+			faultinject.Boundary(j.info.ID, spec.Algorithm, p.Step)
 			elapsed := time.Since(start).Seconds()
 			info := ProgressInfo{
 				Step:       p.Step,
@@ -482,22 +604,30 @@ func (m *Manager) execute(j *job) (*dse.Result, error) {
 			j.hub.publish(Event{Type: "progress", Progress: &info})
 		},
 		CheckpointEvery: spec.CheckpointEvery,
-		Resume:          spec.Resume,
+		Resume:          resume,
 	}
 	// Warm-start resolution happens here — on the worker, not at Submit —
 	// so the seeds reflect the store's contents when the job actually
-	// starts (a queued job can inherit fronts finished ahead of it).
+	// starts (a queued job can inherit fronts finished ahead of it). It
+	// runs once per job, not per attempt: the resolved seeds are cached on
+	// the job so a retry cannot pick up fronts archived since attempt one
+	// and drift onto a different trajectory.
 	if spec.Resume == nil && (spec.Algorithm == AlgoNSGA2 || spec.Algorithm == AlgoMOSA) {
-		seeds, wsInfo, err := ResolveWarmStart(m.store, spec.WarmStart,
-			sc.Fingerprint(), ObjectivesFull, spec.Algorithm, spec.Scenario, problem.Space())
-		if err != nil {
-			return nil, err
+		if !j.seedsResolved {
+			seeds, wsInfo, err := ResolveWarmStart(m.store, spec.WarmStart,
+				sc.Fingerprint(), ObjectivesFull, spec.Algorithm, spec.Scenario, problem.Space())
+			if err != nil {
+				return nil, err
+			}
+			j.seeds, j.seedsResolved = seeds, true
+			if wsInfo != nil {
+				j.mu.Lock()
+				j.info.WarmStart = wsInfo
+				j.mu.Unlock()
+			}
 		}
-		opts.SeedPoints = seeds
-		if wsInfo != nil {
-			j.mu.Lock()
-			j.info.WarmStart = wsInfo
-			j.mu.Unlock()
+		if resume == nil {
+			opts.SeedPoints = j.seeds
 		}
 	}
 	if spec.CheckpointEvery > 0 {
@@ -506,8 +636,13 @@ func (m *Manager) execute(j *job) (*dse.Result, error) {
 			j.snapshot = snap
 			id := j.info.ID
 			j.mu.Unlock()
+			// The durable write is best-effort: a full disk (or injected
+			// write failure) costs durability, not the run — the in-memory
+			// snapshot above still backs retries, so log and continue.
 			if m.cfg.CheckpointDir != "" {
-				return writeSnapshotFile(m.cfg.CheckpointDir, id, snap)
+				if err := writeSnapshotFile(m.cfg.CheckpointDir, id, snap); err != nil {
+					m.cfg.Logf("service: job %s: checkpoint write at step %d failed (run continues): %v", id, snap.Step, err)
+				}
 			}
 			return nil
 		}
@@ -535,36 +670,4 @@ func (m *Manager) execute(j *job) (*dse.Result, error) {
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", spec.Algorithm)
 	}
-}
-
-// writeSnapshotFile persists a snapshot atomically (write to a temp file,
-// then rename) so a crash mid-write never leaves a truncated checkpoint.
-func writeSnapshotFile(dir, id string, snap *dse.Snapshot) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	data, err := json.Marshal(snap)
-	if err != nil {
-		return err
-	}
-	path := filepath.Join(dir, id+".snapshot.json")
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// LoadSnapshot reads a snapshot previously persisted by a Manager with
-// CheckpointDir set — the resume path for jobs that outlived the process.
-func LoadSnapshot(dir, id string) (*dse.Snapshot, error) {
-	data, err := os.ReadFile(filepath.Join(dir, id+".snapshot.json"))
-	if err != nil {
-		return nil, err
-	}
-	snap := &dse.Snapshot{}
-	if err := json.Unmarshal(data, snap); err != nil {
-		return nil, fmt.Errorf("service: corrupt snapshot for %s: %w", id, err)
-	}
-	return snap, nil
 }

@@ -15,16 +15,46 @@
 // mutable but the memo-safe code paths proven scheduling-independent in
 // internal/dse.
 //
-// # Lifecycle
+// # Lifecycle and supervision
 //
-// A job moves queued → running → done | failed | cancelled. Cancellation
-// is cooperative through context.Context: the search algorithms check it
-// at generation/segment/batch boundaries, so a cancelled job stops within
-// one boundary and keeps the partial front it explored. Jobs that request
-// checkpointing (Spec.CheckpointEvery > 0) produce dse.Snapshot
-// checkpoints at those same boundaries; a killed job resubmitted with
-// Spec.Resume set to its last snapshot replays the uninterrupted run's
-// exact trajectory and finishes with a bit-identical front.
+// The job state machine is
+//
+//	queued → running → done | failed | timed_out | cancelled
+//	             ↘ queued (retry edge: attempt failed, retries left)
+//
+// Every attempt runs under a panic-recovering supervisor: a panic in an
+// evaluator (or any hook on the search goroutine) fails the attempt with
+// the captured stack instead of killing the process. A failed attempt
+// with retries left (Spec.MaxRetries) re-enters queued, waits a capped
+// exponential backoff with jitter (JobInfo.NextRetryAt), and runs again —
+// resuming from the latest in-memory checkpoint when the job checkpoints
+// (Spec.CheckpointEvery > 0), restarting from scratch otherwise; both
+// paths produce a front bit-identical to an uninterrupted run, because
+// resume restores the exact trajectory and a fresh run is deterministic
+// in the seed. JobInfo reports Attempts, the last Error, and NextRetryAt
+// while a retry is pending.
+//
+// Cancellation is cooperative through context.Context: the search
+// algorithms check it at generation/segment/batch boundaries, so a
+// cancelled job stops within one boundary and keeps the partial front it
+// explored. Spec.DeadlineSeconds bounds the job's total running time
+// (across retries) the same way: the deadline cancels at the next search
+// boundary and the job lands in timed_out with its partial front.
+// Neither cancelled nor timed_out jobs retry — both are verdicts, not
+// faults.
+//
+// Jobs that request checkpointing produce dse.Snapshot checkpoints at
+// search boundaries; a killed job resubmitted with Spec.Resume set to its
+// last snapshot replays the uninterrupted run's exact trajectory and
+// finishes with a bit-identical front. Durable checkpoint files
+// (Config.CheckpointDir) are checksummed and double-buffered: a file
+// torn by a crash mid-write fails verification on LoadSnapshot and
+// recovery falls back to the previous checkpoint instead of resuming
+// from garbage. Checkpoint and result-store write failures degrade
+// gracefully — logged, never fatal to the job — so a full disk costs
+// durability, not the exploration budget already spent. The
+// internal/service/faultinject package provides the injection points the
+// chaos test suite drives all of this with.
 //
 // # Result store and warm starts
 //
@@ -103,6 +133,21 @@ type Spec struct {
 	// what was actually seeded.
 	WarmStart string `json:"warm_start,omitempty"`
 
+	// MaxRetries is how many times a failed attempt (panic or error —
+	// not cancellation, not a deadline) is automatically retried, with
+	// capped exponential backoff between attempts. Retries resume from
+	// the job's latest checkpoint when CheckpointEvery > 0 and restart
+	// from scratch otherwise; either way the final front is bit-identical
+	// to an uninterrupted run. Default 0 (fail on the first error),
+	// capped at 16.
+	MaxRetries int `json:"max_retries,omitempty"`
+
+	// DeadlineSeconds bounds the job's total running time across all
+	// attempts (queue wait excluded). The deadline cancels cooperatively
+	// at the next search boundary; the job ends timed_out, keeping the
+	// partial front explored so far. 0 means no deadline.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+
 	// CheckpointEvery asks for a dse.Snapshot every N search boundaries
 	// (generations / chain segments / evaluation batches); 0 disables.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
@@ -170,6 +215,12 @@ func (s Spec) Validate() error {
 	if s.CheckpointEvery < 0 {
 		return fmt.Errorf("service: negative checkpoint interval %d", s.CheckpointEvery)
 	}
+	if s.MaxRetries < 0 || s.MaxRetries > maxJobRetries {
+		return fmt.Errorf("service: max_retries %d out of [0,%d]", s.MaxRetries, maxJobRetries)
+	}
+	if s.DeadlineSeconds < 0 {
+		return fmt.Errorf("service: negative deadline_seconds %g", s.DeadlineSeconds)
+	}
 	if s.Resume != nil && s.Resume.Algorithm != s.Algorithm {
 		return fmt.Errorf("service: resume snapshot is a %s run, spec wants %s", s.Resume.Algorithm, s.Algorithm)
 	}
@@ -187,12 +238,15 @@ const (
 	StatusRunning   Status = "running"
 	StatusDone      Status = "done"
 	StatusFailed    Status = "failed"
+	StatusTimedOut  Status = "timed_out"
 	StatusCancelled Status = "cancelled"
 )
 
-// Terminal reports whether the job has stopped moving.
+// Terminal reports whether the job has stopped moving. A queued status
+// on a job with Attempts > 0 is the retry edge — the job failed and is
+// waiting out its backoff — not a terminal state.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+	return s == StatusDone || s == StatusFailed || s == StatusTimedOut || s == StatusCancelled
 }
 
 // ProgressInfo is the service-level progress view: the dse boundary
@@ -212,16 +266,25 @@ type ProgressInfo struct {
 // nulled (snapshots can be large; ResumedFromStep records that and where
 // the job resumed).
 type JobInfo struct {
-	ID              string        `json:"id"`
-	Spec            Spec          `json:"spec"`
-	ResumedFromStep int           `json:"resumed_from_step,omitempty"`
-	Status          Status        `json:"status"`
-	Error           string        `json:"error,omitempty"`
-	CreatedAt       time.Time     `json:"created_at"`
-	StartedAt       *time.Time    `json:"started_at,omitempty"`
-	FinishedAt      *time.Time    `json:"finished_at,omitempty"`
-	Progress        *ProgressInfo `json:"progress,omitempty"`
-	ResultVersion   int           `json:"result_version,omitempty"`
+	ID              string `json:"id"`
+	Spec            Spec   `json:"spec"`
+	ResumedFromStep int    `json:"resumed_from_step,omitempty"`
+	Status          Status `json:"status"`
+	// Error is the most recent attempt's failure (panic value + stack for
+	// supervised panics). It persists through the retry wait — a queued
+	// job with a non-empty Error is on the retry edge — and clears if a
+	// later attempt succeeds.
+	Error string `json:"error,omitempty"`
+	// Attempts counts attempts started; 1 for a job that never failed.
+	Attempts int `json:"attempts,omitempty"`
+	// NextRetryAt is when the next attempt starts, set only while the job
+	// waits out its retry backoff.
+	NextRetryAt   *time.Time    `json:"next_retry_at,omitempty"`
+	CreatedAt     time.Time     `json:"created_at"`
+	StartedAt     *time.Time    `json:"started_at,omitempty"`
+	FinishedAt    *time.Time    `json:"finished_at,omitempty"`
+	Progress      *ProgressInfo `json:"progress,omitempty"`
+	ResultVersion int           `json:"result_version,omitempty"`
 	// WarmStart reports how the initial population was seeded; nil for
 	// cold runs (including warm_start: auto against an empty store).
 	WarmStart *WarmStartInfo `json:"warm_start,omitempty"`

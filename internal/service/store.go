@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"wsndse/internal/service/faultinject"
 )
 
 // ObjectivesFull names the three-objective evaluator every service job
@@ -432,6 +434,9 @@ func (s *Store) Close() error {
 // writeFileAtomic writes data via a temp file and rename, so a crash
 // mid-write never leaves a truncated result on disk.
 func writeFileAtomic(path string, data []byte) error {
+	if err := faultinject.StoreWrite(path); err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err

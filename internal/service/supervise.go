@@ -1,0 +1,138 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wsndse/internal/dse"
+	"wsndse/internal/service/faultinject"
+)
+
+// PanicError is what the supervisor converts a panicking job attempt
+// into: the recovered value plus the goroutine stack captured at the
+// panic site. A panic in an evaluator (or any hook running on the search
+// goroutine) fails the attempt — and, with retries left, triggers a
+// checkpoint-backed retry — instead of killing the whole process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// maxJobRetries caps Spec.MaxRetries: a job that crashed 17 times in a
+// row is not going to be saved by an 18th attempt, and unbounded retry
+// of a deterministic panic is a worker-pool denial of service.
+const maxJobRetries = 16
+
+// Default retry backoff window. The first retry waits ~RetryBaseDelay,
+// each further retry doubles it, capped at RetryMaxDelay, with
+// multiplicative jitter in [0.5,1.0) so a batch of jobs felled by one
+// shared cause does not retry in lockstep.
+const (
+	DefaultRetryBaseDelay = 500 * time.Millisecond
+	DefaultRetryMaxDelay  = 15 * time.Second
+)
+
+// retryDelay computes the backoff before retry number `retry` (1-based):
+// capped exponential with jitter. The jitter source is the global
+// math/rand — scheduling noise, deliberately outside the search's
+// deterministic RNG; results are bit-identical regardless of when a
+// retry actually starts.
+func retryDelay(retry int, base, max time.Duration) time.Duration {
+	if retry < 1 {
+		retry = 1
+	}
+	d := base << (retry - 1)
+	if d > max || d <= 0 { // <= 0: shift overflow
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*rand.Float64()))
+}
+
+// errMessage renders err for JobInfo.Error, keeping panic stacks intact.
+func errMessage(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Checkpoint files are written through a two-slot rotation: the latest
+// snapshot at <id>.snapshot.json, its predecessor at
+// <id>.snapshot.prev.json. Writes are atomic (temp + rename) and the
+// bytes carry a SHA-256 (dse.EncodeSnapshotFile), so recovery after a
+// crash — even one that tore the latest file at the filesystem level —
+// verifies what it reads and falls back one checkpoint instead of
+// resuming from garbage.
+func snapshotPath(dir, id string) string     { return filepath.Join(dir, id+".snapshot.json") }
+func snapshotPrevPath(dir, id string) string { return filepath.Join(dir, id+".snapshot.prev.json") }
+
+// writeSnapshotFile persists a snapshot: rotate the current file to the
+// .prev slot, then write the new envelope atomically. The faultinject
+// hook sits between the encoded bytes and the disk, so chaos tests can
+// tear or fail exactly this write.
+func writeSnapshotFile(dir, id string, snap *dse.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := dse.EncodeSnapshotFile(snap)
+	if err != nil {
+		return err
+	}
+	path := snapshotPath(dir, id)
+	data, err = faultinject.CheckpointWrite(path, data)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, snapshotPrevPath(dir, id)); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshot reads a job's durable checkpoint, preferring the latest
+// file and falling back to its predecessor when the latest is missing,
+// torn, or corrupt (checksum mismatch — the kill-mid-write signature).
+// The returned error wraps dse.ErrCorruptSnapshot when candidates
+// existed but none verified, and os.ErrNotExist when none existed.
+func LoadSnapshot(dir, id string) (*dse.Snapshot, error) {
+	var firstErr error
+	for _, path := range []string{snapshotPath(dir, id), snapshotPrevPath(dir, id)} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if firstErr == nil && !os.IsNotExist(err) {
+				firstErr = err
+			}
+			continue
+		}
+		snap, err := dse.DecodeSnapshotFile(data)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("service: snapshot %s: %w", filepath.Base(path), err)
+			}
+			continue
+		}
+		return snap, nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, fmt.Errorf("service: no snapshot for %s: %w", id, os.ErrNotExist)
+}
+
+// errJobDeadline is the cancellation cause of a job whose
+// deadline_seconds elapsed; runJob maps it to StatusTimedOut.
+var errJobDeadline = errors.New("service: job deadline exceeded")
