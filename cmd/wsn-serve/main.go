@@ -22,9 +22,22 @@
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"scenario":"ecg-ward","algorithm":"nsga2","seed":8,"warm_start":"auto"}'
 //
-// SIGINT/SIGTERM shut down gracefully: running jobs are cancelled at
-// their next search boundary (flushing checkpoints first) and in-flight
-// HTTP responses are drained before exit.
+// Island jobs partition one search across supervised islands with
+// deterministic migration (same front, more throughput when evaluations
+// have real latency); -island-exec points at a wsn-island binary to run
+// the rounds in crash-isolated child processes:
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,
+//	       "islands":4,"migration_interval":5,
+//	       "nsga2":{"population_size":32,"generations":40}}'
+//
+// SIGINT/SIGTERM drain gracefully (bounded by -shutdown-timeout): new
+// submissions get 503, running jobs are cancelled at their next search
+// boundary — leaving durable checkpoints behind when -checkpoint-dir is
+// set — and in-flight HTTP responses finish before exit. A restarted
+// server resumes the interrupted work bit-identically via
+// {"resume_job": "<old job id>"}.
 package main
 
 import (
@@ -54,6 +67,9 @@ func main() {
 		familySpec    = flag.String("family", "", "enable scenario families before serving: a name, comma list, or 'all'")
 		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "max duration for reading a full request (0 disables)")
 		writeTimeout  = flag.Duration("write-timeout", 60*time.Second, "max duration for writing a response; SSE streams are exempt (0 disables)")
+		drainTimeout  = flag.Duration("shutdown-timeout", 30*time.Second, "max duration of the graceful drain on SIGINT/SIGTERM before jobs are abandoned")
+		islandExec    = flag.String("island-exec", "", "run island rounds in child worker processes spawned from this wsn-island binary (empty: in-process)")
+		islandStall   = flag.Duration("island-stall", 0, "island heartbeat watchdog: retry an island attempt that passes no boundary for this long (0 disables)")
 	)
 	flag.Parse()
 
@@ -64,11 +80,13 @@ func main() {
 	}
 
 	m, err := service.New(service.Config{
-		Workers:       *jobs,
-		QueueLimit:    *queue,
-		CheckpointDir: *checkpointDir,
-		ResultDir:     *resultsDir,
-		MaxResults:    *maxResults,
+		Workers:            *jobs,
+		QueueLimit:         *queue,
+		CheckpointDir:      *checkpointDir,
+		ResultDir:          *resultsDir,
+		MaxResults:         *maxResults,
+		IslandExec:         *islandExec,
+		IslandStallTimeout: *islandStall,
 	})
 	if err != nil {
 		fail(err)
@@ -107,13 +125,22 @@ func main() {
 			fail(err)
 		}
 	case <-ctx.Done():
-		fmt.Println("wsn-serve: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: stop taking new jobs (submissions get 503
+		// unavailable), cancel running jobs at their next search boundary so
+		// their durable checkpoints land, then close the HTTP server once
+		// every job has settled — a restarted server picks the work back up
+		// via resume_job with a bit-identical continuation.
+		fmt.Printf("wsn-serve: draining (timeout %s)\n", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		if err := m.Drain(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "wsn-serve: drain:", err)
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "wsn-serve: shutdown:", err)
 		}
 		m.Close()
+		fmt.Println("wsn-serve: drained, bye")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -23,6 +24,14 @@ var update = flag.Bool("update", false, "rewrite testdata golden fronts from the
 // golden file pins the exact front this seed produces.
 const smokeSpec = `{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,
   "nsga2":{"population_size":16,"generations":12}}`
+
+// restartSpec is the long checkpointing job the crash/drain recovery
+// smokes interrupt. Big enough that checkpoints exist well before
+// completion; even if the job does finish before the interruption
+// lands, resuming from the last checkpoint replays the same trajectory,
+// so neither test can race. Both diff against smoke-front-restart.json.
+const restartSpec = `{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,"checkpoint_every":100,
+  "nsga2":{"population_size":16,"generations":1500}}`
 
 // serveBinary builds wsn-serve once per test run (or honors
 // $WSN_SERVE_BIN, the CI arrangement).
@@ -40,10 +49,11 @@ func serveBinary(t *testing.T) string {
 	return bin
 }
 
-// startServe boots the service on a random port and returns its base URL
-// plus a stop function (also registered as cleanup) so restart tests can
-// kill the process mid-test.
-func startServe(t *testing.T, bin string, extraArgs ...string) (string, func()) {
+// launchServe boots the service on a random port and returns its base
+// URL plus the running process, leaving signalling/waiting to the
+// caller; a kill is registered as cleanup so an aborted test never
+// leaks the child.
+func launchServe(t *testing.T, bin string, extraArgs ...string) (string, *exec.Cmd) {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0", "-jobs", "2"}, extraArgs...)
 	cmd := exec.Command(bin, args...)
@@ -55,11 +65,10 @@ func startServe(t *testing.T, bin string, extraArgs ...string) (string, func()) 
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	stop := func() {
+	t.Cleanup(func() {
 		cmd.Process.Kill()
 		cmd.Wait()
-	}
-	t.Cleanup(stop)
+	})
 
 	// The "listening on" stdout line reports the resolved listen address.
 	scanner := bufio.NewScanner(stdout)
@@ -78,7 +87,19 @@ func startServe(t *testing.T, bin string, extraArgs ...string) (string, func()) 
 		for scanner.Scan() {
 		}
 	}()
-	return base, stop
+	return base, cmd
+}
+
+// startServe boots the service and returns its base URL plus a stop
+// function (SIGKILL + reap) so restart tests can kill the process
+// mid-test.
+func startServe(t *testing.T, bin string, extraArgs ...string) (string, func()) {
+	t.Helper()
+	base, cmd := launchServe(t, bin, extraArgs...)
+	return base, func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
 }
 
 // goldenFront is the canonical JSON shape the golden files pin.
@@ -249,11 +270,6 @@ func TestServeWarmRestartSmoke(t *testing.T) {
 // kill -9 costs wall-clock, never results.
 func TestServeCrashResumeSmoke(t *testing.T) {
 	bin := serveBinary(t)
-	// Big enough that checkpoints exist well before completion; even if the
-	// job does finish before the kill lands, resuming from the last
-	// checkpoint replays the same trajectory, so the test cannot race.
-	const restartSpec = `{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,"checkpoint_every":100,
-  "nsga2":{"population_size":16,"generations":1500}}`
 
 	// Reference: the uninterrupted run pins the golden.
 	base, stop := startServe(t, bin)
@@ -304,6 +320,90 @@ func TestServeCrashResumeSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, runJob(t, base, string(data)), "smoke-front-restart.json")
+}
+
+// TestServeIslandSmoke runs the island decomposition end to end over
+// the deployed binary: a 2-island job with one migration boundary must
+// finish, stream island events, and pin its merged front to a golden —
+// island runs have their own trajectory (migration injects elites), so
+// this is a separate golden from the plain smoke.
+func TestServeIslandSmoke(t *testing.T) {
+	base, _ := startServe(t, serveBinary(t))
+	islandSpec := `{"scenario":"ecg-ward","algorithm":"nsga2","seed":7,"workers":2,
+  "islands":2,"migration_interval":6,"nsga2":{"population_size":16,"generations":12}}`
+	id := submitWait(t, base, islandSpec)
+
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Islands []struct {
+			Island int `json:"island"`
+			Step   int `json:"step"`
+		} `json:"islands"`
+	}
+	decodeBody(t, resp, http.StatusOK, &info)
+	if len(info.Islands) != 2 || info.Islands[0].Step != 12 || info.Islands[1].Step != 12 {
+		t.Fatalf("island supervision state not surfaced: %+v", info.Islands)
+	}
+	checkGolden(t, fetchFront(t, base, id), "smoke-front-island.json")
+}
+
+// TestServeDrainResumeSmoke is the graceful-shutdown gate: SIGTERM a
+// server mid-job and it must drain — cancel the job at a search
+// boundary, leave its durable checkpoint behind, and exit cleanly
+// within -shutdown-timeout. A fresh process on the same checkpoint
+// directory then resumes the interrupted job server-side via
+// {"resume_job": "<old id>"} — no client-held snapshot round-trip —
+// and the front must match the same golden the uninterrupted run pins.
+func TestServeDrainResumeSmoke(t *testing.T) {
+	bin := serveBinary(t)
+	ckptDir := t.TempDir()
+	base, cmd := launchServe(t, bin, "-checkpoint-dir", ckptDir, "-shutdown-timeout", "30s")
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(restartSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	decodeBody(t, resp, http.StatusCreated, &job)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := service.LoadSnapshot(ckptDir, job.ID); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no durable checkpoint appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Graceful: SIGTERM, then the process must exit on its own (well
+	// under the 30s drain budget) with status 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("drained server exited with: %v", err)
+		}
+	case <-time.After(45 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+
+	// Restart: the new server reads the drained job's checkpoint from
+	// disk by ID. (Its own first job is also j1; the resume load happens
+	// before that job writes anything, so the old file wins the race by
+	// construction.)
+	resumeSpec := strings.TrimSuffix(restartSpec, "}") + `,"resume_job":"` + job.ID + `"}`
+	base, _ = startServe(t, bin, "-checkpoint-dir", ckptDir)
+	checkGolden(t, runJob(t, base, resumeSpec), "smoke-front-restart.json")
 }
 
 // TestServeFamilySmoke is the same gate over the generated population: the

@@ -2,6 +2,7 @@ package dse
 
 import (
 	"context"
+	"errors"
 	"fmt"
 )
 
@@ -77,7 +78,25 @@ type Options struct {
 	// Resume takes precedence: a resumed run ignores SeedPoints, since the
 	// snapshot already fixes the whole trajectory.
 	SeedPoints []Config
+
+	// StopAfter, when > 0, pauses the run at that boundary instead of
+	// finishing: the run force-writes a snapshot through Checkpoint
+	// (regardless of CheckpointEvery) and returns its partial Result
+	// together with ErrPaused. Combined with Resume this turns one search
+	// into a sequence of deterministic rounds — run to a boundary, stop,
+	// let the caller rearrange state (the island coordinator exchanges
+	// migrants here), resume — with the guarantee that pausing and
+	// resuming at any boundary replays the uninterrupted run's exact
+	// trajectory. A StopAfter at or past the final boundary never fires;
+	// 0 (the default) runs to completion.
+	StopAfter int
 }
+
+// ErrPaused is the sentinel a run returns when it stops at the
+// Options.StopAfter boundary. It is a pause, not a failure: the partial
+// Result is valid, and the snapshot handed to Checkpoint at the pause
+// boundary resumes the identical trajectory.
+var ErrPaused = errors.New("dse: run paused at StopAfter boundary")
 
 // validSeeds filters SeedPoints down to configurations that index the
 // space, dropping duplicates while preserving first-seen order, and caps
@@ -113,10 +132,11 @@ func (o Options) validSeeds(space *Space, max int) []Config {
 }
 
 // boundary is the shared per-boundary bookkeeping: emit progress, write a
-// due checkpoint, then honor cancellation — in that order, so a cancelled
-// run's latest checkpoint is already durable when the partial result comes
-// back. step is 1-based (boundaries completed); snap builds the snapshot
-// lazily and only when one is due.
+// due checkpoint, honor StopAfter, then honor cancellation — in that
+// order, so a cancelled run's latest checkpoint is already durable when
+// the partial result comes back, and a paused run's snapshot is written
+// before ErrPaused surfaces. step is 1-based (boundaries completed); snap
+// builds the snapshot lazily and only when one is due.
 func (o Options) boundary(algo string, step, total, evaluated, infeasible int, front func() []Point, snap func() *Snapshot) error {
 	if o.Progress != nil {
 		o.Progress(Progress{
@@ -128,10 +148,17 @@ func (o Options) boundary(algo string, step, total, evaluated, infeasible int, f
 			Front:      front(),
 		})
 	}
-	if o.Checkpoint != nil && o.CheckpointEvery > 0 && step < total && step%o.CheckpointEvery == 0 {
-		if err := o.Checkpoint(snap()); err != nil {
-			return fmt.Errorf("dse: checkpoint at step %d: %w", step, err)
+	pause := o.StopAfter > 0 && step >= o.StopAfter && step < total
+	if o.Checkpoint != nil {
+		due := o.CheckpointEvery > 0 && step < total && step%o.CheckpointEvery == 0
+		if due || pause {
+			if err := o.Checkpoint(snap()); err != nil {
+				return fmt.Errorf("dse: checkpoint at step %d: %w", step, err)
+			}
 		}
+	}
+	if pause {
+		return ErrPaused
 	}
 	if o.Context != nil {
 		if err := o.Context.Err(); err != nil {

@@ -83,6 +83,21 @@ func (c *Client) backoff(retry int) time.Duration {
 	return retryDelay(retry, base, max)
 }
 
+// sleepContext waits out a backoff delay, returning early with ctx's
+// error the moment the context is cancelled. Centralizing the select
+// keeps every retry loop responsive to cancellation: a caller that gives
+// up mid-backoff gets control back within the tick, not after it.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // retryableError reports whether err is worth retrying an idempotent
 // call for: transport-level failures (connection refused/reset — the
 // restart window) and the gateway-flavored 5xx statuses. Every other
@@ -174,10 +189,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if attempt >= retries || !retryableError(err) || ctx.Err() != nil {
 			return err
 		}
-		select {
-		case <-ctx.Done():
+		if sleepContext(ctx, c.backoff(attempt+1)) != nil {
 			return err
-		case <-time.After(c.backoff(attempt + 1)):
 		}
 	}
 }
@@ -440,10 +453,8 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) err
 			}
 			return fmt.Errorf("service: event stream for job %s ended before the job finished", id)
 		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(c.backoff(fruitless)):
+		if err := sleepContext(ctx, c.backoff(fruitless)); err != nil {
+			return err
 		}
 	}
 }

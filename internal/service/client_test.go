@@ -1,0 +1,73 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// unavailableServer always answers 503, which the client treats as
+// retryable — every call enters the backoff loop.
+func unavailableServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"unavailable","message":"drill"}}`, http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestClientBackoffHonorsCancel: cancelling the context mid-backoff
+// must end the call immediately. Before sleepContext the retry loop
+// slept through a plain time.Sleep, so a caller whose deadline had
+// already fired still waited out the full (here: 10s) backoff window.
+func TestClientBackoffHonorsCancel(t *testing.T) {
+	srv := unavailableServer(t)
+	c := NewClient(srv.URL)
+	c.RetryBaseDelay = 10 * time.Second
+	c.RetryMaxDelay = 10 * time.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Job(ctx, "j1")
+	if err == nil {
+		t.Fatal("call against a 503-only server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled call still took %s — backoff ignored the context", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Logf("call ended with %v (fast, as required)", err)
+	}
+}
+
+// TestClientEventsBackoffHonorsCancel: the same property for the SSE
+// reconnect loop, whose fruitless-reconnect backoff also has to yield
+// to the caller's context.
+func TestClientEventsBackoffHonorsCancel(t *testing.T) {
+	srv := unavailableServer(t)
+	c := NewClient(srv.URL)
+	c.RetryBaseDelay = 10 * time.Second
+	c.RetryMaxDelay = 10 * time.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := c.Events(ctx, "j1", func(Event) bool { return true })
+	if err == nil {
+		t.Fatal("events stream against a 503-only server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled stream still took %s — reconnect backoff ignored the context", elapsed)
+	}
+}

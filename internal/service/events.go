@@ -1,19 +1,27 @@
 package service
 
-import "sync"
+import (
+	"sort"
+	"sync"
+
+	"wsndse/internal/service/island"
+)
 
 // Event is one entry in a job's event stream. Status events mark
-// lifecycle transitions; progress events carry boundary snapshots. Seq is
-// monotonically increasing per job — it doubles as the SSE event id, so a
-// reconnecting consumer resumes exactly where its stream died
-// (Last-Event-ID → SubscribeFrom) instead of replaying or skipping.
+// lifecycle transitions; progress events carry boundary snapshots; island
+// events carry the island coordinator's observations (rounds, migrations,
+// crashes, failovers) for island jobs. Seq is monotonically increasing
+// per job — it doubles as the SSE event id, so a reconnecting consumer
+// resumes exactly where its stream died (Last-Event-ID → SubscribeFrom)
+// instead of replaying or skipping.
 type Event struct {
 	Seq      int           `json:"seq"`
-	Type     string        `json:"type"` // "status" | "progress"
+	Type     string        `json:"type"` // "status" | "progress" | "island"
 	Status   Status        `json:"status,omitempty"`
 	Error    string        `json:"error,omitempty"`
 	Attempt  int           `json:"attempt,omitempty"` // which run attempt emitted this (1-based; 0 before the first)
 	Progress *ProgressInfo `json:"progress,omitempty"`
+	Island   *island.Event `json:"island,omitempty"`
 }
 
 // subBuffer is each subscriber's channel depth. Slow consumers lose
@@ -22,15 +30,16 @@ type Event struct {
 const subBuffer = 256
 
 // hub is a per-job event broadcaster. It keeps a bounded replay history —
-// every lifecycle transition plus the latest progress event — so a
-// subscriber attaching mid-run (or after completion) immediately learns
-// the job's story without the service buffering thousands of generation
-// snapshots.
+// every lifecycle transition plus the latest progress and island events —
+// so a subscriber attaching mid-run (or after completion) immediately
+// learns the job's story without the service buffering thousands of
+// generation snapshots.
 type hub struct {
 	mu           sync.Mutex
 	seq          int
 	status       []Event // lifecycle transitions, a handful at most
 	lastProgress *Event
+	lastIsland   *Event
 	subs         map[chan Event]struct{}
 	closed       bool
 }
@@ -50,10 +59,14 @@ func (h *hub) publish(e Event) {
 	}
 	h.seq++
 	e.Seq = h.seq
-	if e.Type == "progress" {
+	switch e.Type {
+	case "progress":
 		cp := e
 		h.lastProgress = &cp
-	} else {
+	case "island":
+		cp := e
+		h.lastIsland = &cp
+	default:
 		h.status = append(h.status, e)
 	}
 	for ch := range h.subs {
@@ -89,9 +102,9 @@ func (h *hub) close() {
 }
 
 // subscribe returns the replay history (lifecycle events plus the latest
-// progress snapshot, in Seq order), a live channel, and a cancel func.
-// After the hub closes the channel is closed; cancel is idempotent and
-// safe after close.
+// progress/island snapshots, in Seq order), a live channel, and a cancel
+// func. After the hub closes the channel is closed; cancel is idempotent
+// and safe after close.
 func (h *hub) subscribe() (replay []Event, ch <-chan Event, cancel func()) {
 	return h.subscribeFrom(0)
 }
@@ -129,19 +142,17 @@ func (h *hub) subscribeFrom(afterSeq int) (replay []Event, ch <-chan Event, canc
 	return replay, c, cancel
 }
 
-// replayLocked merges status history and the latest progress by Seq.
+// replayLocked merges status history with the latest progress and island
+// events by Seq.
 func (h *hub) replayLocked() []Event {
-	out := make([]Event, 0, len(h.status)+1)
-	lp := h.lastProgress
-	for _, e := range h.status {
-		if lp != nil && lp.Seq < e.Seq {
-			out = append(out, *lp)
-			lp = nil
-		}
-		out = append(out, e)
+	out := make([]Event, 0, len(h.status)+2)
+	out = append(out, h.status...)
+	if h.lastProgress != nil {
+		out = append(out, *h.lastProgress)
 	}
-	if lp != nil {
-		out = append(out, *lp)
+	if h.lastIsland != nil {
+		out = append(out, *h.lastIsland)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }

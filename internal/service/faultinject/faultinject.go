@@ -33,6 +33,8 @@ var (
 	boundaryHook   func(jobID, algorithm string, step int)
 	checkpointHook func(path string, data []byte) ([]byte, error)
 	storeHook      func(path string) error
+	islandHook     func(jobID string, island, executor, step int)
+	migrationHook  func(jobID string, round, from, to int) error
 )
 
 // InjectedPanic is the value injected boundary panics carry, so chaos
@@ -47,9 +49,25 @@ func (p InjectedPanic) String() string {
 	return fmt.Sprintf("faultinject: injected panic in job %s at step %d", p.JobID, p.Step)
 }
 
+// InjectedIslandPanic is the value injected island-boundary panics
+// carry: which island (and which executor was running it) crashed at
+// which search step.
+type InjectedIslandPanic struct {
+	JobID    string
+	Island   int
+	Executor int
+	Step     int
+}
+
+func (p InjectedIslandPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic in job %s island %d (executor %d) at step %d",
+		p.JobID, p.Island, p.Executor, p.Step)
+}
+
 // rearm recomputes the fast-path gate. Caller holds mu.
 func rearm() {
-	armed.Store(boundaryHook != nil || checkpointHook != nil || storeHook != nil)
+	armed.Store(boundaryHook != nil || checkpointHook != nil || storeHook != nil ||
+		islandHook != nil || migrationHook != nil)
 }
 
 // Reset disarms every hook. Tests defer this.
@@ -57,6 +75,7 @@ func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	boundaryHook, checkpointHook, storeHook = nil, nil, nil
+	islandHook, migrationHook = nil, nil
 	rearm()
 }
 
@@ -102,6 +121,101 @@ func PanicOnceAtStep(step, times int) {
 			panic(InjectedPanic{JobID: jobID, Step: s})
 		}
 	})
+}
+
+// SetIslandHook installs fn at the island search-boundary point: the
+// island runner calls IslandBoundary between generations/segments on the
+// island's own goroutine (or inside the worker process), and fn may
+// panic to simulate an island crash at an exact, reproducible step. nil
+// disarms.
+func SetIslandHook(fn func(jobID string, island, executor, step int)) {
+	mu.Lock()
+	defer mu.Unlock()
+	islandHook = fn
+	rearm()
+}
+
+// SetMigrationHook installs fn at the migration-transfer point: the
+// coordinator calls Migration once per ring edge per migration boundary,
+// and a non-nil error drops that transfer — the coordinator must retry
+// it, never skip it, or determinism is lost. nil disarms.
+func SetMigrationHook(fn func(jobID string, round, from, to int) error) {
+	mu.Lock()
+	defer mu.Unlock()
+	migrationHook = fn
+	rearm()
+}
+
+// PanicOnIslandAtStep arms the island hook to panic (with an
+// InjectedIslandPanic value) the first `times` times island `island`
+// reaches search step `step`.
+func PanicOnIslandAtStep(island, step, times int) {
+	var remaining atomic.Int64
+	remaining.Store(int64(times))
+	SetIslandHook(func(jobID string, isl, executor, s int) {
+		if isl == island && s == step && remaining.Add(-1) >= 0 {
+			panic(InjectedIslandPanic{JobID: jobID, Island: isl, Executor: executor, Step: s})
+		}
+	})
+}
+
+// PanicOnExecutorAtStep arms the island hook to panic every time any
+// island running on executor `executor` reaches step `step`, up to
+// `times` total panics. With times > the executor's restart budget this
+// simulates a persistently broken worker: the coordinator must declare
+// the executor lost and redistribute its islands.
+func PanicOnExecutorAtStep(executor, step, times int) {
+	var remaining atomic.Int64
+	remaining.Store(int64(times))
+	SetIslandHook(func(jobID string, isl, exec, s int) {
+		if exec == executor && s == step && remaining.Add(-1) >= 0 {
+			panic(InjectedIslandPanic{JobID: jobID, Island: isl, Executor: exec, Step: s})
+		}
+	})
+}
+
+// DropMigrations arms the migration hook to fail the first `times`
+// transfer attempts — the lossy-exchange fault. Retried attempts count
+// again, so times=3 with a retrying coordinator means the fourth attempt
+// succeeds.
+func DropMigrations(times int) {
+	var remaining atomic.Int64
+	remaining.Store(int64(times))
+	SetMigrationHook(func(jobID string, round, from, to int) error {
+		if remaining.Add(-1) >= 0 {
+			return fmt.Errorf("faultinject: dropped migration %d->%d at round %d", from, to, round)
+		}
+		return nil
+	})
+}
+
+// IslandBoundary is the hook point island runners call at every search
+// boundary. Disabled: one atomic load.
+func IslandBoundary(jobID string, island, executor, step int) {
+	if !armed.Load() {
+		return
+	}
+	mu.Lock()
+	fn := islandHook
+	mu.Unlock()
+	if fn != nil {
+		fn(jobID, island, executor, step)
+	}
+}
+
+// Migration is the hook point for one migrant transfer on the ring; a
+// non-nil error means the transfer was dropped and must be retried.
+func Migration(jobID string, round, from, to int) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	fn := migrationHook
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(jobID, round, from, to)
 }
 
 // Boundary is the hook point the supervisor's progress sink calls at
@@ -240,12 +354,19 @@ func (p *FlakyProxy) relay(client net.Conn) {
 		return
 	}
 	defer p.track(server)()
+	// Both copiers are wg-tracked so Close() reaps them: an untracked
+	// copier blocked in io.Copy on an idle keep-alive connection would
+	// outlive Close and leak past the proxy's lifetime.
 	done := make(chan struct{}, 2)
+	p.wg.Add(1)
 	go func() { // client → server (requests)
+		defer p.wg.Done()
 		io.Copy(server, client)
 		done <- struct{}{}
 	}()
+	p.wg.Add(1)
 	go func() { // server → client (responses), byte-bounded
+		defer p.wg.Done()
 		if p.killAfter > 0 {
 			n, _ := io.CopyN(client, server, p.killAfter)
 			if n == p.killAfter {

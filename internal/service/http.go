@@ -32,7 +32,8 @@ const (
 	CodeQueueFull = "queue_full"
 	// CodeBodyTooLarge: the request body exceeded MaxBodyBytes.
 	CodeBodyTooLarge = "body_too_large"
-	// CodeUnavailable: the manager is shutting down.
+	// CodeUnavailable: the manager is draining (graceful shutdown) or
+	// already closed.
 	CodeUnavailable = "unavailable"
 	// CodeInternal: unexpected server-side failure.
 	CodeInternal = "internal"
@@ -163,7 +164,7 @@ func NewHandler(m *Manager) http.Handler {
 			switch {
 			case errors.Is(err, ErrQueueFull):
 				writeError(w, http.StatusTooManyRequests, CodeQueueFull, err)
-			case errors.Is(err, ErrClosed):
+			case errors.Is(err, ErrClosed), errors.Is(err, ErrDraining):
 				writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
 			default:
 				writeError(w, http.StatusBadRequest, CodeInvalidSpec, err)

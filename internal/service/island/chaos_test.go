@@ -1,0 +1,220 @@
+package island
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wsndse/internal/service/faultinject"
+)
+
+// collectEvents wires an event recorder into cfg and returns the
+// accessor. The coordinator emits from multiple goroutines.
+func collectEvents(cfg *Config) func(kind string) int {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	cfg.OnEvent = func(e Event) {
+		mu.Lock()
+		counts[e.Kind]++
+		mu.Unlock()
+	}
+	return func(kind string) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts[kind]
+	}
+}
+
+// TestIslandPanicFailover: a transient panic in one island mid-round is
+// retried from the island's checkpoint and the merged front is
+// bit-identical to the undisturbed run — for both algorithms.
+func TestIslandPanicFailover(t *testing.T) {
+	for _, algo := range []string{"nsga2", "mosa"} {
+		t.Run(algo, func(t *testing.T) {
+			job, cfg := testJob(algo)
+			golden := runCoordinator(t, job, cfg)
+
+			defer faultinject.Reset()
+			// Step 5 for nsga2 sits mid-round-2 (boundaries 3,6,9); for
+			// mosa (boundaries 2,4,6) it sits mid-round-3.
+			faultinject.PanicOnIslandAtStep(2, 5, 1)
+			events := collectEvents(&cfg)
+			disturbed := runCoordinator(t, job, cfg)
+			sameResult(t, golden, disturbed, "panicked island vs golden")
+			if events(EventCrash) != 1 || events(EventRestart) != 1 {
+				t.Errorf("crash=%d restart=%d events, want 1/1", events(EventCrash), events(EventRestart))
+			}
+		})
+	}
+}
+
+// TestExecutorLostRedistribution: an executor that panics every time it
+// reaches a step exhausts its restart budget, is declared lost, and its
+// islands complete on the survivors — with a bit-identical front.
+func TestExecutorLostRedistribution(t *testing.T) {
+	job, cfg := testJob("nsga2")
+	golden := runCoordinator(t, job, cfg)
+
+	defer faultinject.Reset()
+	cfg.Executors = 2
+	cfg.MaxRestarts = 2
+	faultinject.PanicOnExecutorAtStep(1, 5, 1000) // persistent: every attempt on executor 1 dies
+	events := collectEvents(&cfg)
+	disturbed := runCoordinator(t, job, cfg)
+	sameResult(t, golden, disturbed, "lost executor vs golden")
+	if events(EventExecutorLost) != 1 {
+		t.Errorf("executor_lost events = %d, want 1", events(EventExecutorLost))
+	}
+	if events(EventCrash) != 3 { // budget 2 + the final fatal attempt
+		t.Errorf("crash events = %d, want 3", events(EventCrash))
+	}
+}
+
+// TestAllExecutorsLostFallback: when every executor is persistently
+// broken the coordinator finishes the job inline — slower, never wrong.
+func TestAllExecutorsLostFallback(t *testing.T) {
+	job, cfg := testJob("nsga2")
+	golden := runCoordinator(t, job, cfg)
+
+	defer faultinject.Reset()
+	cfg.Executors = 2
+	cfg.MaxRestarts = 1
+	faultinject.SetIslandHook(func(jobID string, island, executor, step int) {
+		if executor >= 0 && step == 5 {
+			panic(faultinject.InjectedIslandPanic{JobID: jobID, Island: island, Executor: executor, Step: step})
+		}
+	})
+	events := collectEvents(&cfg)
+	disturbed := runCoordinator(t, job, cfg)
+	sameResult(t, golden, disturbed, "all executors lost vs golden")
+	if events(EventExecutorLost) != 2 || events(EventFallback) != 1 {
+		t.Errorf("executor_lost=%d fallback=%d, want 2/1", events(EventExecutorLost), events(EventFallback))
+	}
+}
+
+// TestFallbackExhaustedFailsCleanly: when even inline execution keeps
+// dying the job fails with a diagnosable error instead of spinning.
+func TestFallbackExhaustedFailsCleanly(t *testing.T) {
+	job, cfg := testJob("nsga2")
+	defer faultinject.Reset()
+	cfg.Executors = 2
+	cfg.MaxRestarts = 1
+	faultinject.SetIslandHook(func(jobID string, island, executor, step int) {
+		if step == 5 {
+			panic(faultinject.InjectedIslandPanic{JobID: jobID, Island: island, Executor: executor, Step: step})
+		}
+	})
+	space := testSpace(12, 4, 3)
+	c, err := New(cfg, job, space, &testEval{space: space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background())
+	if !errors.Is(err, errNoExecutors) {
+		t.Fatalf("err = %v, want errNoExecutors", err)
+	}
+}
+
+// hangingRunner wraps a Runner, hanging the first attempt on one island
+// until the watchdog's cancellation arrives.
+type hangingRunner struct {
+	inner  Runner
+	island int
+	once   sync.Once
+}
+
+func (h *hangingRunner) RunRound(ctx context.Context, req Request, beat Heartbeat) (*Response, error) {
+	hang := false
+	if req.Island == h.island {
+		h.once.Do(func() { hang = true })
+	}
+	if hang {
+		<-ctx.Done()
+		return nil, context.Cause(ctx)
+	}
+	return h.inner.RunRound(ctx, req, beat)
+}
+
+// TestStallWatchdogRecovers: an island that stops heartbeating is
+// cancelled, retried, and the merged front is unchanged.
+func TestStallWatchdogRecovers(t *testing.T) {
+	job, cfg := testJob("nsga2")
+	golden := runCoordinator(t, job, cfg)
+
+	space := testSpace(12, 4, 3)
+	cfg.StallTimeout = 100 * time.Millisecond
+	cfg.Runner = &hangingRunner{inner: &GoRunner{Space: space, Eval: &testEval{space: space}}, island: 1}
+	events := collectEvents(&cfg)
+	start := time.Now()
+	disturbed := runCoordinator(t, job, cfg)
+	sameResult(t, golden, disturbed, "stalled island vs golden")
+	if events(EventCrash) != 1 {
+		t.Errorf("crash events = %d, want 1", events(EventCrash))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("watchdog recovery took %v", elapsed)
+	}
+}
+
+// TestDroppedMigrationsRetried: dropped ring transfers are retried until
+// delivered — lossy exchange shifts timing, not the trajectory.
+func TestDroppedMigrationsRetried(t *testing.T) {
+	job, cfg := testJob("mosa")
+	golden := runCoordinator(t, job, cfg)
+
+	defer faultinject.Reset()
+	faultinject.DropMigrations(5)
+	events := collectEvents(&cfg)
+	disturbed := runCoordinator(t, job, cfg)
+	sameResult(t, golden, disturbed, "lossy migration vs golden")
+	if events(EventMigrationDrop) != 5 {
+		t.Errorf("migration_drop events = %d, want 5", events(EventMigrationDrop))
+	}
+}
+
+// TestCancelPropagates: cancelling the job context fails the run with
+// the cancellation cause, not a retry storm.
+func TestCancelPropagates(t *testing.T) {
+	job, cfg := testJob("nsga2")
+	space := testSpace(12, 4, 3)
+	c, err := New(cfg, job, space, &testEval{space: space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, st := range c.Status() {
+		if st.Restarts != 0 {
+			t.Errorf("island %d retried a cancelled run %d times", st.Island, st.Restarts)
+		}
+	}
+}
+
+// TestCrashEventCarriesInjectedPayload pins the diagnosability contract:
+// a failed island attempt's event names the injected fault.
+func TestCrashEventCarriesInjectedPayload(t *testing.T) {
+	job, cfg := testJob("nsga2")
+	defer faultinject.Reset()
+	faultinject.PanicOnIslandAtStep(0, 5, 1)
+	var mu sync.Mutex
+	var crashErr string
+	cfg.OnEvent = func(e Event) {
+		if e.Kind == EventCrash {
+			mu.Lock()
+			crashErr = e.Error
+			mu.Unlock()
+		}
+	}
+	runCoordinator(t, job, cfg)
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(crashErr, "injected panic") || !strings.Contains(crashErr, "island 0") {
+		t.Fatalf("crash event error %q does not identify the injected fault", crashErr)
+	}
+}

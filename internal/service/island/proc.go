@@ -1,0 +1,137 @@
+package island
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// ProcRunner executes island rounds in supervised child worker
+// processes: one process per round, fed the JSON Request on stdin,
+// reporting newline-delimited ProcLine messages on stdout ("beat" lines
+// feed the watchdog, one "done" or "error" line ends the round). The
+// process-per-round shape is what makes SIGKILL a recoverable fault: a
+// killed worker loses only its current round, which the coordinator
+// replays from the island's unchanged snapshot.
+type ProcRunner struct {
+	// Bin is the worker binary (cmd/wsn-island).
+	Bin string
+
+	// Args are prepended to the worker's command line.
+	Args []string
+
+	// OnSpawn, when non-nil, observes every worker process right after
+	// start — chaos tests use the pid to SIGKILL a worker mid-round.
+	OnSpawn func(island, executor, pid int)
+
+	// WaitDelay bounds how long Wait lingers after context cancellation
+	// before force-closing the pipes. Default 5s.
+	WaitDelay time.Duration
+}
+
+// stderrLimit bounds how much worker stderr is kept for error reports.
+const stderrLimit = 8 << 10
+
+// RunRound implements Runner.
+func (p *ProcRunner) RunRound(ctx context.Context, req Request, beat Heartbeat) (*Response, error) {
+	input, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, p.Bin, p.Args...)
+	cmd.Stdin = bytes.NewReader(input)
+	var stderr limitedBuffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.WaitDelay = p.WaitDelay
+	if cmd.WaitDelay <= 0 {
+		cmd.WaitDelay = 5 * time.Second
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("island %d: start worker: %w", req.Island, err)
+	}
+	if p.OnSpawn != nil {
+		p.OnSpawn(req.Island, req.Executor, cmd.Process.Pid)
+	}
+
+	var resp *Response
+	var procErr error
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 64<<10), 64<<20) // snapshots can be large
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var msg ProcLine
+		if err := json.Unmarshal(line, &msg); err != nil {
+			procErr = fmt.Errorf("island %d: undecodable worker line: %v", req.Island, err)
+			break
+		}
+		switch msg.Type {
+		case "beat":
+			if beat != nil {
+				beat(msg.Step)
+			}
+		case "done":
+			resp = msg.Response
+		case "error":
+			procErr = fmt.Errorf("island %d: worker: %s", req.Island, msg.Error)
+		default:
+			procErr = fmt.Errorf("island %d: unknown worker message type %q", req.Island, msg.Type)
+		}
+		if resp != nil || procErr != nil {
+			break
+		}
+	}
+	if scanErr := sc.Err(); scanErr != nil && procErr == nil {
+		procErr = fmt.Errorf("island %d: reading worker output: %w", req.Island, scanErr)
+	}
+	// Drain so the worker never blocks on a full stdout pipe, then reap.
+	io.Copy(io.Discard, stdout)
+	waitErr := cmd.Wait()
+
+	if procErr != nil {
+		return nil, procErr
+	}
+	if resp == nil {
+		// Killed (or exited) before reporting: the round is lost, the
+		// island's snapshot is not. Surface the cause for the crash event.
+		detail := strings.TrimSpace(stderr.String())
+		if waitErr != nil {
+			if detail != "" {
+				return nil, fmt.Errorf("island %d: worker died mid-round: %v (stderr: %s)", req.Island, waitErr, detail)
+			}
+			return nil, fmt.Errorf("island %d: worker died mid-round: %v", req.Island, waitErr)
+		}
+		return nil, fmt.Errorf("island %d: worker exited without a result", req.Island)
+	}
+	return resp, nil
+}
+
+// limitedBuffer keeps the first stderrLimit bytes written to it.
+type limitedBuffer struct {
+	buf bytes.Buffer
+}
+
+func (b *limitedBuffer) Write(p []byte) (int, error) {
+	n := len(p)
+	if room := stderrLimit - b.buf.Len(); room > 0 {
+		if len(p) > room {
+			p = p[:room]
+		}
+		b.buf.Write(p)
+	}
+	return n, nil
+}
+
+func (b *limitedBuffer) String() string { return b.buf.String() }

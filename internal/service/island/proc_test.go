@@ -1,0 +1,145 @@
+package island
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"wsndse/internal/casestudy"
+	"wsndse/internal/dse"
+	"wsndse/internal/scenario"
+)
+
+// islandBinary builds cmd/wsn-island once per test binary (or uses
+// $WSN_ISLAND_BIN, which CI sets to reuse one build).
+func islandBinary(t *testing.T) string {
+	t.Helper()
+	if bin := os.Getenv("WSN_ISLAND_BIN"); bin != "" {
+		return bin
+	}
+	binDirOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "wsn-island-bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		binPath = filepath.Join(dir, "wsn-island")
+		out, err := exec.Command("go", "build", "-o", binPath, "wsndse/cmd/wsn-island").CombinedOutput()
+		if err != nil {
+			binErr = err
+			t.Logf("go build wsn-island: %s", out)
+		}
+	})
+	if binErr != nil {
+		t.Fatalf("building wsn-island: %v", binErr)
+	}
+	return binPath
+}
+
+var (
+	binDirOnce sync.Once
+	binPath    string
+	binErr     error
+)
+
+// procJob is a small real-scenario job: the worker process compiles the
+// scenario itself, so the test must use a registered one.
+func procJob() (Job, Config) {
+	return Job{
+			JobID:     "p1",
+			Scenario:  "ecg-ward",
+			Algorithm: "nsga2",
+			NSGA2:     &dse.NSGA2Config{PopulationSize: 16, Generations: 12},
+			Seed:      7,
+			Workers:   2,
+		}, Config{
+			Islands:   2,
+			Interval:  6, // one migration at generation 6
+			Migrants:  3,
+			Executors: 2,
+		}
+}
+
+// compileScenario builds the in-process space/evaluator the coordinator
+// needs for migration injection and front merging.
+func compileScenario(t *testing.T, name string) (*dse.Space, dse.Evaluator) {
+	t.Helper()
+	sc, ok := scenario.Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	problem, err := scenario.NewProblem(sc, casestudy.DefaultCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := problem.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return problem.Space(), compiled.Evaluator()
+}
+
+func runProcCoordinator(t *testing.T, job Job, cfg Config) *dse.Result {
+	t.Helper()
+	space, eval := compileScenario(t, job.Scenario)
+	c, err := New(cfg, job, space, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestProcRunnerMatchesGoRunner: worker processes walk the identical
+// trajectory as in-process islands — the wire round-trip of snapshots
+// and fronts is lossless.
+func TestProcRunnerMatchesGoRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	bin := islandBinary(t)
+	job, cfg := procJob()
+	golden := runProcCoordinator(t, job, cfg) // GoRunner default
+
+	cfg.Runner = &ProcRunner{Bin: bin}
+	viaProc := runProcCoordinator(t, job, cfg)
+	sameResult(t, golden, viaProc, "proc runner vs go runner")
+}
+
+// TestProcWorkerSigkillFailover is the headline robustness proof at the
+// process level: SIGKILL a worker mid-round and the merged front is
+// bit-identical to the undisturbed run.
+func TestProcWorkerSigkillFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	bin := islandBinary(t)
+	job, cfg := procJob()
+	golden := runProcCoordinator(t, job, cfg)
+
+	var killed atomic.Bool
+	cfg.Runner = &ProcRunner{
+		Bin: bin,
+		OnSpawn: func(isl, exec, pid int) {
+			if isl == 1 && !killed.Swap(true) {
+				syscall.Kill(pid, syscall.SIGKILL)
+			}
+		},
+	}
+	events := collectEvents(&cfg)
+	survived := runProcCoordinator(t, job, cfg)
+	sameResult(t, golden, survived, "SIGKILLed worker vs golden")
+	if !killed.Load() {
+		t.Fatal("no worker was killed")
+	}
+	if events(EventCrash) != 1 || events(EventRestart) != 1 {
+		t.Errorf("crash=%d restart=%d, want 1/1", events(EventCrash), events(EventRestart))
+	}
+}

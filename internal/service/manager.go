@@ -13,6 +13,7 @@ import (
 	"wsndse/internal/dse"
 	"wsndse/internal/scenario"
 	"wsndse/internal/service/faultinject"
+	"wsndse/internal/service/island"
 )
 
 // Config parameterizes a Manager. The zero value is usable: 2 concurrent
@@ -44,6 +45,16 @@ type Config struct {
 	// DefaultRetryMaxDelay). Tests shrink them.
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
+	// IslandExec, when set, runs each island round of an island job
+	// (Spec.Islands >= 2) in a supervised child worker process spawned
+	// from this binary (cmd/wsn-island); empty runs islands in-process.
+	// Either way the merged front is identical — process isolation buys
+	// crash containment, not different results.
+	IslandExec string
+	// IslandStallTimeout arms the island coordinator's heartbeat watchdog:
+	// an island attempt passing no search boundary for this long is
+	// cancelled and retried. 0 disables the watchdog.
+	IslandStallTimeout time.Duration
 	// Logf receives the manager's degradation log lines — checkpoint and
 	// result-store write failures, retry announcements. Nil selects
 	// log.Printf. These are exactly the failures the manager survives
@@ -75,6 +86,7 @@ var (
 	ErrNotFound    = errors.New("service: no such job")
 	ErrQueueFull   = errors.New("service: job queue is full")
 	ErrClosed      = errors.New("service: manager is closed")
+	ErrDraining    = errors.New("service: manager is draining")
 	ErrNotFinished = errors.New("service: job has no front yet")
 	ErrNoSnapshot  = errors.New("service: job has no checkpoint")
 )
@@ -98,7 +110,11 @@ type job struct {
 	// thus the retried job's final front) identical to attempt one's.
 	seeds         []dse.Config
 	seedsResolved bool
-	done          chan struct{}
+	// islandSnap is the island coordinator's latest composite checkpoint
+	// (island jobs only): the resume anchor a retried attempt restarts
+	// from, mirroring what snapshot does for single-search jobs.
+	islandSnap *dse.IslandSnapshot
+	done       chan struct{}
 }
 
 // setStatus transitions the lifecycle under the job lock and publishes
@@ -136,11 +152,12 @@ type Manager struct {
 	cfg   Config
 	store *Store
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	nextID int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	nextID   int
+	closed   bool
+	draining bool
 
 	queue chan *job
 	root  context.Context
@@ -211,9 +228,49 @@ func (m *Manager) Close() {
 	m.store.Close()
 }
 
+// Drain begins a graceful shutdown: new submissions are rejected with
+// ErrDraining, every non-terminal job is cancelled cooperatively (running
+// jobs stop at their next search boundary, leaving their durable
+// checkpoints behind for a resume_job restart), and Drain blocks until
+// every job reaches a terminal state or ctx expires. The manager keeps
+// serving reads — job state, fronts, results — while and after draining;
+// Close finishes the shutdown.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.draining = true
+	jobs := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+		// Jobs still queued (never started, or waiting out a retry) settle
+		// immediately; running jobs settle at their next search boundary.
+		j.mu.Lock()
+		queued := j.info.Status == StatusQueued
+		j.mu.Unlock()
+		if queued {
+			j.setStatus(StatusCancelled, "manager draining")
+		}
+	}
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
 // Submit validates the spec and enqueues a new job, returning its info
-// snapshot. It fails fast on a full queue (ErrQueueFull) or closed
-// manager (ErrClosed).
+// snapshot. It fails fast on a full queue (ErrQueueFull), a draining
+// manager (ErrDraining), or a closed one (ErrClosed).
 func (m *Manager) Submit(spec Spec) (JobInfo, error) {
 	spec = spec.normalize()
 	if err := spec.Validate(); err != nil {
@@ -227,10 +284,20 @@ func (m *Manager) Submit(spec Spec) (JobInfo, error) {
 			return JobInfo{}, fmt.Errorf("service: warm-start version %d is not in the result store", v)
 		}
 	}
+	// resume_job reads durable checkpoint files; without a checkpoint
+	// directory there is nothing it could ever find. Fail the submit, not
+	// the queued job.
+	if spec.ResumeJob != "" && m.cfg.CheckpointDir == "" {
+		return JobInfo{}, fmt.Errorf("service: resume_job needs a server checkpoint directory (wsn-serve -checkpoint-dir)")
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return JobInfo{}, ErrClosed
+	}
+	if m.draining {
+		m.mu.Unlock()
+		return JobInfo{}, ErrDraining
 	}
 	m.nextID++
 	id := fmt.Sprintf("j%d", m.nextID)
@@ -384,7 +451,10 @@ func (m *Manager) Front(id string) (FrontResponse, error) {
 }
 
 // Checkpoint returns the job's latest snapshot (from memory; the
-// CheckpointDir file is its durable twin).
+// CheckpointDir file is its durable twin). Island jobs have no single
+// snapshot — their per-island checkpoints live under CheckpointDir and a
+// restart reaches them through Spec.ResumeJob — so they report
+// ErrNoSnapshot here.
 func (m *Manager) Checkpoint(id string) (*dse.Snapshot, error) {
 	j, ok := m.lookup(id)
 	if !ok {
@@ -570,6 +640,10 @@ func (m *Manager) execute(j *job) (*dse.Result, error) {
 	}
 	eval := compiled.Evaluator()
 
+	if spec.Islands >= 2 {
+		return m.executeIslands(j, problem.Space(), eval)
+	}
+
 	// Retry attempts resume from the latest in-memory snapshot (kept in
 	// sync with the durable file), falling back to the spec's own Resume.
 	// Either way the trajectory from that point is deterministic, so the
@@ -579,6 +653,26 @@ func (m *Manager) execute(j *job) (*dse.Result, error) {
 	j.mu.Unlock()
 	if resume == nil {
 		resume = spec.Resume
+	}
+	// resume_job: restart from the durable checkpoint a previous job left
+	// in the server's checkpoint directory. A checkpoint that is missing or
+	// fails verification in both slots (errors wrapping os.ErrNotExist and
+	// dse.ErrCorruptSnapshot respectively) fails the job with that
+	// diagnosis — silently restarting from scratch would masquerade as a
+	// resume while exploring a different trajectory prefix.
+	if resume == nil && spec.ResumeJob != "" {
+		snap, err := LoadSnapshot(m.cfg.CheckpointDir, spec.ResumeJob)
+		if err != nil {
+			return nil, err
+		}
+		if snap.Algorithm != spec.Algorithm {
+			return nil, fmt.Errorf("service: job %s checkpoint is a %s run, spec wants %s",
+				spec.ResumeJob, snap.Algorithm, spec.Algorithm)
+		}
+		resume = snap
+		j.mu.Lock()
+		j.info.ResumedFromStep = snap.Step
+		j.mu.Unlock()
 	}
 
 	start := time.Now()
@@ -670,4 +764,88 @@ func (m *Manager) execute(j *job) (*dse.Result, error) {
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", spec.Algorithm)
 	}
+}
+
+// executeIslands runs an island job (Spec.Islands >= 2) through the
+// island coordinator: the search is partitioned across supervised
+// islands with deterministic ring migration, island events are published
+// on the job's stream, per-island supervision state lands in
+// JobInfo.Islands, and the coordinator's composite checkpoints back both
+// in-process retries (j.islandSnap) and cross-process resume_job
+// restarts (per-island snapfiles under Config.CheckpointDir).
+func (m *Manager) executeIslands(j *job, space *dse.Space, eval dse.Evaluator) (*dse.Result, error) {
+	spec := j.spec
+	ijob := island.Job{
+		JobID:     j.info.ID,
+		Scenario:  spec.Scenario,
+		Algorithm: spec.Algorithm,
+		NSGA2:     spec.NSGA2,
+		MOSA:      spec.MOSA,
+		Seed:      spec.Seed,
+		Workers:   spec.Workers,
+	}
+	cfg := island.Config{
+		Islands:       spec.Islands,
+		Interval:      spec.MigrationInterval,
+		Migrants:      spec.Migrants,
+		StallTimeout:  m.cfg.IslandStallTimeout,
+		CheckpointDir: m.cfg.CheckpointDir,
+		Logf:          m.cfg.Logf,
+	}
+	if m.cfg.IslandExec != "" {
+		cfg.Runner = &island.ProcRunner{Bin: m.cfg.IslandExec}
+	}
+
+	// Retry attempts resume from the coordinator's latest composite
+	// checkpoint; a resume_job restart reassembles one from the previous
+	// job's per-island snapfiles (the newest migration boundary every
+	// island has a verified snapshot for). Missing or corrupt checkpoints
+	// fail the job with that diagnosis, exactly like the single-search
+	// resume_job path.
+	j.mu.Lock()
+	resume := j.islandSnap
+	j.mu.Unlock()
+	if resume == nil && spec.ResumeJob != "" {
+		comp, err := island.LoadCheckpoint(m.cfg.CheckpointDir, spec.ResumeJob, spec.Islands)
+		if err != nil {
+			return nil, err
+		}
+		resume = comp
+	}
+	cfg.Resume = resume
+	if resume != nil {
+		j.mu.Lock()
+		j.info.ResumedFromStep = resume.Step
+		j.mu.Unlock()
+	}
+	cfg.OnCheckpoint = func(s *dse.IslandSnapshot) {
+		j.mu.Lock()
+		j.islandSnap = s
+		j.mu.Unlock()
+	}
+
+	// OnEvent fires from coordinator and executor goroutines, all spawned
+	// inside Run — strictly after coord is assigned below.
+	var coord *island.Coordinator
+	cfg.OnEvent = func(e island.Event) {
+		sts := coord.Status()
+		j.mu.Lock()
+		j.info.Islands = sts
+		j.mu.Unlock()
+		ev := e
+		j.hub.publish(Event{Type: "island", Island: &ev})
+	}
+
+	coord, err := island.New(cfg, ijob, space, eval)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	j.info.Islands = coord.Status()
+	j.mu.Unlock()
+	res, runErr := coord.Run(j.runCtx)
+	j.mu.Lock()
+	j.info.Islands = coord.Status()
+	j.mu.Unlock()
+	return res, runErr
 }

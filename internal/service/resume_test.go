@@ -1,0 +1,171 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wsndse/internal/dse"
+)
+
+// corruptBothSlots overwrites a job's checkpoint files — latest and
+// predecessor — with bytes that fail the snapshot checksum, modelling a
+// disk that scribbled over both rotation slots.
+func corruptBothSlots(t *testing.T, dir, id string) {
+	t.Helper()
+	for _, path := range []string{snapshotPath(dir, id), snapshotPrevPath(dir, id)} {
+		if err := os.WriteFile(path, []byte("{ not a snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadSnapshotBothSlotsCorrupt closes the recovery matrix: one
+// corrupt slot falls back to the other (covered elsewhere), but when
+// BOTH slots fail their checksum the loader must say so — wrapping
+// dse.ErrCorruptSnapshot, not os.ErrNotExist and not a zero-value
+// resume.
+func TestLoadSnapshotBothSlotsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	corruptBothSlots(t, dir, "j1")
+	snap, err := LoadSnapshot(dir, "j1")
+	if snap != nil {
+		t.Fatalf("corrupt slots yielded a snapshot: %+v", snap)
+	}
+	if !errors.Is(err, dse.ErrCorruptSnapshot) {
+		t.Fatalf("err = %v, want wrap of dse.ErrCorruptSnapshot", err)
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt files misreported as missing: %v", err)
+	}
+}
+
+// TestResumeJobBitIdenticalSingleRun: a finished single-search job
+// leaves its last durable checkpoint behind; a second manager on the
+// same directory replays the tail via resume_job and lands on the same
+// front.
+func TestResumeJobBitIdenticalSingleRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := smallNSGA2("ecg-ward", 7)
+	spec.NSGA2 = &dse.NSGA2Config{PopulationSize: 8, Generations: 7}
+	spec.CheckpointEvery = 2 // last checkpoint lands at generation 6
+
+	m1 := newTestManager(t, Config{Workers: 1, CheckpointDir: dir})
+	info, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitDone(t, m1, info.ID).Status != StatusDone {
+		t.Fatal("golden run did not finish")
+	}
+	golden, err := m1.Front(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	m2 := newTestManager(t, Config{Workers: 1, CheckpointDir: dir})
+	defer m2.Close()
+	spec.ResumeJob = info.ID
+	resumed, err := m2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m2, resumed.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("resumed job %s: %s", final.Status, final.Error)
+	}
+	if final.ResumedFromStep != 6 {
+		t.Errorf("resumed from step %d, want 6", final.ResumedFromStep)
+	}
+	front, err := m2.Front(resumed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(golden.Front, front.Front) {
+		t.Fatalf("resume_job front differs: %d points vs %d", len(front.Front), len(golden.Front))
+	}
+}
+
+// TestResumeJobAlgorithmMismatch: resuming a checkpoint under a spec
+// that asks for a different algorithm must fail the job loudly instead
+// of silently starting a fresh search.
+func TestResumeJobAlgorithmMismatch(t *testing.T) {
+	dir := t.TempDir()
+	spec := smallNSGA2("ecg-ward", 7)
+	spec.CheckpointEvery = 2
+
+	m := newTestManager(t, Config{Workers: 1, CheckpointDir: dir})
+	defer m.Close()
+	info, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, info.ID)
+
+	wrong := Spec{
+		Scenario:  "ecg-ward",
+		Algorithm: AlgoMOSA,
+		Seed:      7,
+		Workers:   2,
+		MOSA:      &dse.MOSAConfig{Iterations: 50},
+		ResumeJob: info.ID,
+	}
+	got, err := m.Submit(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, got.ID)
+	if final.Status != StatusFailed {
+		t.Fatalf("mismatched resume ended %s, want failed", final.Status)
+	}
+	if !strings.Contains(final.Error, "checkpoint is a nsga2 run") {
+		t.Errorf("error %q does not name the algorithm mismatch", final.Error)
+	}
+}
+
+// TestResumeJobCorruptCheckpointFailsJob is the end-to-end face of the
+// both-slots-corrupt case: the job fails with a corruption diagnosis
+// rather than restarting the search from scratch under a resume label.
+func TestResumeJobCorruptCheckpointFailsJob(t *testing.T) {
+	dir := t.TempDir()
+	corruptBothSlots(t, dir, "dead-job")
+
+	m := newTestManager(t, Config{Workers: 1, CheckpointDir: dir})
+	defer m.Close()
+	spec := smallNSGA2("ecg-ward", 7)
+	spec.ResumeJob = "dead-job"
+	info, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, info.ID)
+	if final.Status != StatusFailed {
+		t.Fatalf("resume from corrupt checkpoint ended %s, want failed", final.Status)
+	}
+	if !strings.Contains(final.Error, "corrupt") {
+		t.Errorf("error %q does not mention corruption", final.Error)
+	}
+}
+
+// TestResumeJobMissingCheckpointFailsJob: a resume_job naming a job
+// that never checkpointed fails with a not-found diagnosis.
+func TestResumeJobMissingCheckpointFailsJob(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, CheckpointDir: t.TempDir()})
+	defer m.Close()
+	spec := smallNSGA2("ecg-ward", 7)
+	spec.ResumeJob = "never-existed"
+	info, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, info.ID)
+	if final.Status != StatusFailed {
+		t.Fatalf("resume from missing checkpoint ended %s, want failed", final.Status)
+	}
+	if !strings.Contains(final.Error, "no snapshot") {
+		t.Errorf("error %q does not say the snapshot is missing", final.Error)
+	}
+}

@@ -56,6 +56,31 @@
 // internal/service/faultinject package provides the injection points the
 // chaos test suite drives all of this with.
 //
+// # Island decomposition and drain
+//
+// Spec.Islands >= 2 runs one nsga2/mosa search as supervised worker
+// islands (internal/service/island): lock-step rounds with deterministic
+// ring migration, per-island checkpoints at every migration boundary,
+// and failover by replay — an island panic, a killed worker process
+// (Config.IslandExec), a lost executor or a stalled round
+// (Config.IslandStallTimeout) costs at most one round, and the merged
+// front stays bit-identical to an undisturbed run. Island jobs publish
+// "island" events instead of "progress", surface per-island supervision
+// state in JobInfo.Islands, and have no single resumable snapshot
+// (Checkpoint returns ErrNoSnapshot); when the island supervisor itself
+// gives up, the manager's retry edge resumes from the coordinator's
+// composite checkpoint.
+//
+// Spec.ResumeJob resumes a prior job — plain or island — server-side
+// from its durable checkpoint files under Config.CheckpointDir, keyed by
+// the old job's ID: the cross-process-restart recovery path, no
+// client-held snapshot required. A missing, both-slots-corrupt, or
+// algorithm-mismatched checkpoint fails the job loudly rather than
+// silently starting over. Manager.Drain is the graceful half of that
+// story: it rejects new submissions with ErrDraining, cancels running
+// jobs at their next boundary so their checkpoints land, and returns
+// once every job has settled — wsn-serve wires it to SIGINT/SIGTERM.
+//
 // # Result store and warm starts
 //
 // Every finished job's front is archived in the Store under a content
@@ -87,6 +112,7 @@ import (
 
 	"wsndse/internal/dse"
 	"wsndse/internal/scenario"
+	"wsndse/internal/service/island"
 )
 
 // Algorithms the service accepts, mapping 1:1 onto the search entry
@@ -155,10 +181,44 @@ type Spec struct {
 	// same scenario, algorithm and algorithm config. The resumed job's
 	// front is bit-identical to an uninterrupted run.
 	Resume *dse.Snapshot `json:"resume,omitempty"`
+	// ResumeJob resumes from the durable checkpoint files a previous job
+	// (same scenario, algorithm, config and island layout) left under the
+	// server's checkpoint directory — the restart path that needs no
+	// snapshot round-trip through the client. Requires Config.CheckpointDir;
+	// mutually exclusive with Resume and WarmStart. Corrupt or missing
+	// checkpoints fail the job with a diagnosable error rather than
+	// silently restarting from scratch.
+	ResumeJob string `json:"resume_job,omitempty"`
+
+	// Islands partitions the search across N supervised islands with
+	// deterministic ring migration (see internal/service/island): 0 or 1
+	// selects the plain single-search path, 2..16 the island coordinator.
+	// nsga2 and mosa only. The merged front is a pure function of
+	// (spec, islands, migration_interval, migrants) — island crashes,
+	// executor loss and coordinator restarts never change it. Island jobs
+	// checkpoint at every migration boundary (checkpoint_every must stay
+	// 0), publish "island" events instead of "progress", and report
+	// per-island supervision state in JobInfo.Islands.
+	Islands int `json:"islands,omitempty"`
+	// MigrationInterval is the migration period in search boundaries
+	// (0 selects the island default, 5). Only valid with Islands >= 2.
+	MigrationInterval int `json:"migration_interval,omitempty"`
+	// Migrants is how many front members each island sends its ring
+	// successor per boundary (0 selects the default, 4; capped at 64).
+	// Only valid with Islands >= 2.
+	Migrants int `json:"migrants,omitempty"`
 }
 
 // maxEvalWorkers caps per-job evaluation parallelism.
 const maxEvalWorkers = 64
+
+// maxIslands caps Spec.Islands, and maxMigrants Spec.Migrants: island
+// decomposition is a handful-of-partitions technique — a thousand-island
+// request is a typo or an attack, not a plan.
+const (
+	maxIslands  = 16
+	maxMigrants = 64
+)
 
 // normalize fills the defaults validation and execution agree on.
 func (s Spec) normalize() Spec {
@@ -227,6 +287,44 @@ func (s Spec) Validate() error {
 	if !validWarmStart(s.WarmStart) {
 		return fmt.Errorf("service: malformed warm_start %q (want off|auto|<version>)", s.WarmStart)
 	}
+	if s.ResumeJob != "" {
+		if s.Resume != nil {
+			return fmt.Errorf("service: resume and resume_job are mutually exclusive")
+		}
+		if warmStartRequested(s.WarmStart) {
+			return fmt.Errorf("service: resume_job and warm_start are mutually exclusive (the checkpoint already fixes the trajectory)")
+		}
+	}
+	if s.Islands < 0 || s.Islands > maxIslands {
+		return fmt.Errorf("service: islands %d out of [0,%d]", s.Islands, maxIslands)
+	}
+	if s.Islands >= 2 {
+		if s.Algorithm != AlgoNSGA2 && s.Algorithm != AlgoMOSA {
+			return fmt.Errorf("service: algorithm %s does not support island decomposition", s.Algorithm)
+		}
+		if s.Resume != nil {
+			return fmt.Errorf("service: island jobs resume via resume_job, not a single-search snapshot")
+		}
+		if warmStartRequested(s.WarmStart) {
+			return fmt.Errorf("service: warm_start is not supported for island jobs")
+		}
+		if s.CheckpointEvery != 0 {
+			return fmt.Errorf("service: island jobs checkpoint at every migration boundary; checkpoint_every must be 0")
+		}
+	} else {
+		if s.MigrationInterval != 0 {
+			return fmt.Errorf("service: migration_interval needs islands >= 2")
+		}
+		if s.Migrants != 0 {
+			return fmt.Errorf("service: migrants needs islands >= 2")
+		}
+	}
+	if s.MigrationInterval < 0 {
+		return fmt.Errorf("service: negative migration_interval %d", s.MigrationInterval)
+	}
+	if s.Migrants < 0 || s.Migrants > maxMigrants {
+		return fmt.Errorf("service: migrants %d out of [0,%d]", s.Migrants, maxMigrants)
+	}
 	return nil
 }
 
@@ -279,12 +377,17 @@ type JobInfo struct {
 	Attempts int `json:"attempts,omitempty"`
 	// NextRetryAt is when the next attempt starts, set only while the job
 	// waits out its retry backoff.
-	NextRetryAt   *time.Time    `json:"next_retry_at,omitempty"`
-	CreatedAt     time.Time     `json:"created_at"`
-	StartedAt     *time.Time    `json:"started_at,omitempty"`
-	FinishedAt    *time.Time    `json:"finished_at,omitempty"`
-	Progress      *ProgressInfo `json:"progress,omitempty"`
-	ResultVersion int           `json:"result_version,omitempty"`
+	NextRetryAt *time.Time    `json:"next_retry_at,omitempty"`
+	CreatedAt   time.Time     `json:"created_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	Progress    *ProgressInfo `json:"progress,omitempty"`
+	// Islands is the per-island supervision state of an island job
+	// (Spec.Islands >= 2): which executor last ran each island, the latest
+	// boundary it passed, and its attempt/restart counts. Nil for
+	// single-search jobs.
+	Islands       []island.Status `json:"islands,omitempty"`
+	ResultVersion int             `json:"result_version,omitempty"`
 	// WarmStart reports how the initial population was seeded; nil for
 	// cold runs (including warm_start: auto against an empty store).
 	WarmStart *WarmStartInfo `json:"warm_start,omitempty"`

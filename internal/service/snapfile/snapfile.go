@@ -1,0 +1,85 @@
+// Package snapfile is the service's durable checkpoint-file layer: a
+// two-slot (latest + previous) rotation of atomically written,
+// checksum-enveloped snapshot files. It exists so the single-run
+// checkpoints in package service and the per-island checkpoints in
+// package island share one write/recover protocol instead of two
+// slightly different ones.
+//
+// The protocol: Write rotates the current latest file into the .prev
+// slot, then writes the new bytes to a temp file and renames it into
+// place. Load prefers the latest slot and falls back to the previous one
+// when the latest is missing or fails to decode (the decode callback is
+// expected to verify a checksum, e.g. dse.DecodeSnapshotFile) — so a
+// crash that tears the latest file costs one checkpoint of progress,
+// never a resume from garbage.
+package snapfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wsndse/internal/service/faultinject"
+)
+
+// Path is the latest-slot file for a checkpoint base name.
+func Path(dir, base string) string { return filepath.Join(dir, base+".json") }
+
+// PrevPath is the previous-slot file, the fallback after a torn write.
+func PrevPath(dir, base string) string { return filepath.Join(dir, base+".prev.json") }
+
+// Write persists one already-encoded snapshot under base: rotate the
+// current latest file to the .prev slot, then write data atomically
+// (temp + rename). The faultinject hook sits between the encoded bytes
+// and the disk, so chaos tests can tear or fail exactly this write.
+func Write(dir, base string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := Path(dir, base)
+	data, err := faultinject.CheckpointWrite(path, data)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, PrevPath(dir, base)); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads the checkpoint stored under base, preferring the latest
+// slot and falling back to the previous one when the latest is missing
+// or fails decode (torn write, checksum mismatch). The first real error
+// encountered is returned when no slot verifies; when neither slot
+// exists at all the error wraps os.ErrNotExist.
+func Load[T any](dir, base string, decode func(path string, data []byte) (T, error)) (T, error) {
+	var zero T
+	var firstErr error
+	for _, path := range []string{Path(dir, base), PrevPath(dir, base)} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if firstErr == nil && !os.IsNotExist(err) {
+				firstErr = err
+			}
+			continue
+		}
+		v, err := decode(path, data)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return v, nil
+	}
+	if firstErr != nil {
+		return zero, firstErr
+	}
+	return zero, fmt.Errorf("snapfile: no checkpoint %s in %s: %w", base, dir, os.ErrNotExist)
+}

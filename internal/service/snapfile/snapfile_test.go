@@ -1,0 +1,62 @@
+package snapfile
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// ident decodes a "checkpoint" that is just its own bytes, failing on a
+// magic corrupt marker the way a checksum verifier would.
+func ident(path string, data []byte) (string, error) {
+	if strings.Contains(string(data), "CORRUPT") {
+		return "", errors.New("corrupt: " + path)
+	}
+	return string(data), nil
+}
+
+func TestRotationAndFallback(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := Load(dir, "j1", ident); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir: err = %v, want os.ErrNotExist", err)
+	}
+
+	if err := Write(dir, "j1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Load(dir, "j1", ident); err != nil || got != "v1" {
+		t.Fatalf("after first write: %q, %v", got, err)
+	}
+	if _, err := os.Stat(PrevPath(dir, "j1")); !os.IsNotExist(err) {
+		t.Fatal("prev slot exists after a single write")
+	}
+
+	if err := Write(dir, "j1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := Load(dir, "j1", ident); got != "v2" {
+		t.Fatalf("latest = %q, want v2", got)
+	}
+	prev, err := os.ReadFile(PrevPath(dir, "j1"))
+	if err != nil || string(prev) != "v1" {
+		t.Fatalf("prev slot = %q, %v, want v1", prev, err)
+	}
+
+	// Torn latest: fall back to prev.
+	if err := os.WriteFile(Path(dir, "j1"), []byte("CORRUPT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Load(dir, "j1", ident); err != nil || got != "v1" {
+		t.Fatalf("fallback read: %q, %v, want v1", got, err)
+	}
+
+	// Both slots corrupt: the first decode error surfaces.
+	if err := os.WriteFile(PrevPath(dir, "j1"), []byte("CORRUPT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, "j1", ident); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("both corrupt: err = %v", err)
+	}
+}

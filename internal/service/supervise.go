@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"wsndse/internal/dse"
-	"wsndse/internal/service/faultinject"
+	"wsndse/internal/service/snapfile"
 )
 
 // PanicError is what the supervisor converts a panicking job attempt
@@ -64,43 +64,24 @@ func errMessage(err error) string {
 	return err.Error()
 }
 
-// Checkpoint files are written through a two-slot rotation: the latest
-// snapshot at <id>.snapshot.json, its predecessor at
-// <id>.snapshot.prev.json. Writes are atomic (temp + rename) and the
-// bytes carry a SHA-256 (dse.EncodeSnapshotFile), so recovery after a
-// crash — even one that tore the latest file at the filesystem level —
-// verifies what it reads and falls back one checkpoint instead of
-// resuming from garbage.
-func snapshotPath(dir, id string) string     { return filepath.Join(dir, id+".snapshot.json") }
-func snapshotPrevPath(dir, id string) string { return filepath.Join(dir, id+".snapshot.prev.json") }
+// Checkpoint files are written through a two-slot rotation managed by
+// package snapfile: the latest snapshot at <id>.snapshot.json, its
+// predecessor at <id>.snapshot.prev.json. Writes are atomic (temp +
+// rename) and the bytes carry a SHA-256 (dse.EncodeSnapshotFile), so
+// recovery after a crash — even one that tore the latest file at the
+// filesystem level — verifies what it reads and falls back one
+// checkpoint instead of resuming from garbage.
+func snapshotBase(id string) string          { return id + ".snapshot" }
+func snapshotPath(dir, id string) string     { return snapfile.Path(dir, snapshotBase(id)) }
+func snapshotPrevPath(dir, id string) string { return snapfile.PrevPath(dir, snapshotBase(id)) }
 
-// writeSnapshotFile persists a snapshot: rotate the current file to the
-// .prev slot, then write the new envelope atomically. The faultinject
-// hook sits between the encoded bytes and the disk, so chaos tests can
-// tear or fail exactly this write.
+// writeSnapshotFile persists a snapshot through the snapfile rotation.
 func writeSnapshotFile(dir, id string, snap *dse.Snapshot) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
 	data, err := dse.EncodeSnapshotFile(snap)
 	if err != nil {
 		return err
 	}
-	path := snapshotPath(dir, id)
-	data, err = faultinject.CheckpointWrite(path, data)
-	if err != nil {
-		return err
-	}
-	if _, err := os.Stat(path); err == nil {
-		if err := os.Rename(path, snapshotPrevPath(dir, id)); err != nil {
-			return err
-		}
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return snapfile.Write(dir, snapshotBase(id), data)
 }
 
 // LoadSnapshot reads a job's durable checkpoint, preferring the latest
@@ -109,28 +90,20 @@ func writeSnapshotFile(dir, id string, snap *dse.Snapshot) error {
 // The returned error wraps dse.ErrCorruptSnapshot when candidates
 // existed but none verified, and os.ErrNotExist when none existed.
 func LoadSnapshot(dir, id string) (*dse.Snapshot, error) {
-	var firstErr error
-	for _, path := range []string{snapshotPath(dir, id), snapshotPrevPath(dir, id)} {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			if firstErr == nil && !os.IsNotExist(err) {
-				firstErr = err
-			}
-			continue
-		}
+	snap, err := snapfile.Load(dir, snapshotBase(id), func(path string, data []byte) (*dse.Snapshot, error) {
 		snap, err := dse.DecodeSnapshotFile(data)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("service: snapshot %s: %w", filepath.Base(path), err)
-			}
-			continue
+			return nil, fmt.Errorf("service: snapshot %s: %w", filepath.Base(path), err)
 		}
 		return snap, nil
+	})
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("service: no snapshot for %s: %w", id, os.ErrNotExist)
+		}
+		return nil, err
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return nil, fmt.Errorf("service: no snapshot for %s: %w", id, os.ErrNotExist)
+	return snap, nil
 }
 
 // errJobDeadline is the cancellation cause of a job whose

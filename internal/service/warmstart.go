@@ -32,6 +32,13 @@ func warmStartVersion(ws string) (int, bool) {
 	return v, true
 }
 
+// warmStartRequested reports whether ws asks for any seeding at all —
+// the gate for combinations (resume_job, island jobs) that cannot honor
+// a warm start and must reject it rather than silently run cold.
+func warmStartRequested(ws string) bool {
+	return ws != "" && ws != WarmStartOff
+}
+
 // validWarmStart reports whether ws is a well-formed Spec.WarmStart
 // value: empty, off, auto, or an explicit version.
 func validWarmStart(ws string) bool {
