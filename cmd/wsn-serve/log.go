@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"wsndse/internal/service"
+)
+
+// logger is wsn-serve's one log sink: the server's own lines, the
+// Manager's degradation messages (via service.Config.Logf), and the
+// access log all flow through it, so -log-format json turns the whole
+// process into machine-parseable output at once. Text mode keeps the
+// historical plain lines (scripts parse "listening on http://...").
+type logger struct {
+	json bool
+	mu   sync.Mutex
+	out  *os.File
+}
+
+func newLogger(format string) (*logger, error) {
+	switch format {
+	case "text":
+		return &logger{out: os.Stdout}, nil
+	case "json":
+		return &logger{json: true, out: os.Stdout}, nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// printf logs one free-form message. It is the service.Config.Logf
+// implementation, so it must be safe from any goroutine.
+func (l *logger) printf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !l.json {
+		l.mu.Lock()
+		fmt.Fprintln(l.out, msg)
+		l.mu.Unlock()
+		return
+	}
+	l.emit(map[string]any{"msg": msg})
+}
+
+// request logs one served HTTP request.
+func (l *logger) request(method, path string, status int, latency time.Duration, jobID string) {
+	if !l.json {
+		line := fmt.Sprintf("wsn-serve: %s %s %d %s", method, path, status, latency.Round(10*time.Microsecond))
+		if jobID != "" {
+			line += " job=" + jobID
+		}
+		l.mu.Lock()
+		fmt.Fprintln(l.out, line)
+		l.mu.Unlock()
+		return
+	}
+	rec := map[string]any{
+		"msg":        "request",
+		"method":     method,
+		"path":       path,
+		"status":     status,
+		"latency_ms": float64(latency.Microseconds()) / 1000,
+	}
+	if jobID != "" {
+		rec["job_id"] = jobID
+	}
+	l.emit(rec)
+}
+
+// emit writes one json log record with the shared ts/level envelope.
+func (l *logger) emit(rec map[string]any) {
+	rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["level"] = "info"
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.out.Write(append(b, '\n'))
+	l.mu.Unlock()
+}
+
+// statusRecorder captures the response status for the access log. It
+// forwards Flush so SSE streaming through the middleware keeps working
+// (serveEvents type-asserts http.Flusher), and exposes Unwrap for
+// http.ResponseController users.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// accessLog wraps the service handler with per-request logging and the
+// wsndse_http_requests_total{method,code} metric. The log line lands
+// after the response finishes — an SSE stream logs once, at disconnect,
+// with its full duration.
+func accessLog(l *logger, m *service.Manager, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		m.ObserveHTTPRequest(r.Method, status)
+		l.request(r.Method, r.URL.Path, status, time.Since(start), jobIDFromPath(r.URL.Path))
+	})
+}
+
+// jobIDFromPath extracts the job ID from /v1/jobs/{id}[/...] paths, the
+// label that makes a slow or failing request attributable to its job.
+func jobIDFromPath(path string) string {
+	const prefix = "/v1/jobs/"
+	if !strings.HasPrefix(path, prefix) {
+		return ""
+	}
+	id := path[len(prefix):]
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[:i]
+	}
+	return id
+}

@@ -32,6 +32,17 @@
 //	       "islands":4,"migration_interval":5,
 //	       "nsga2":{"population_size":32,"generations":40}}'
 //
+// The server instruments itself: GET /metrics serves process-wide
+// counters in Prometheus text form, GET /v1/jobs/{id}/stats the live
+// telemetry window of one job, and -obs-dir persists each job's full
+// series as a binary stream wsn-stats decodes. -log-format json turns
+// the server's own lines and the per-request access log into structured
+// output:
+//
+//	wsn-serve -obs-dir /var/lib/wsn/obs -log-format json
+//	curl -s localhost:8080/metrics | grep ^wsndse_
+//	wsn-stats -follow /var/lib/wsn/obs/j1.obs
+//
 // SIGINT/SIGTERM drain gracefully (bounded by -shutdown-timeout): new
 // submissions get 503, running jobs are cancelled at their next search
 // boundary — leaving durable checkpoints behind when -checkpoint-dir is
@@ -70,13 +81,21 @@ func main() {
 		drainTimeout  = flag.Duration("shutdown-timeout", 30*time.Second, "max duration of the graceful drain on SIGINT/SIGTERM before jobs are abandoned")
 		islandExec    = flag.String("island-exec", "", "run island rounds in child worker processes spawned from this wsn-island binary (empty: in-process)")
 		islandStall   = flag.Duration("island-stall", 0, "island heartbeat watchdog: retry an island attempt that passes no boundary for this long (0 disables)")
+		obsDir        = flag.String("obs-dir", "", "write each job's binary telemetry stream to this directory (<jobID>.obs, decode with wsn-stats)")
+		obsInterval   = flag.Duration("obs-interval", 0, "minimum spacing between telemetry samples of one job (0 selects the default 250ms)")
+		logFormat     = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+
+	lg, err := newLogger(*logFormat)
+	if err != nil {
+		fail(err)
+	}
 
 	if n, err := cliutil.EnableFamilies(*familySpec); err != nil {
 		fail(err)
 	} else if n > 0 {
-		fmt.Printf("wsn-serve: enabled %d generated scenarios (-family %s)\n", n, *familySpec)
+		lg.printf("wsn-serve: enabled %d generated scenarios (-family %s)", n, *familySpec)
 	}
 
 	m, err := service.New(service.Config{
@@ -87,12 +106,15 @@ func main() {
 		MaxResults:         *maxResults,
 		IslandExec:         *islandExec,
 		IslandStallTimeout: *islandStall,
+		ObsDir:             *obsDir,
+		ObsSampleInterval:  *obsInterval,
+		Logf:               lg.printf,
 	})
 	if err != nil {
 		fail(err)
 	}
 	if *resultsDir != "" {
-		fmt.Printf("wsn-serve: result store at %s holds %d fronts\n", *resultsDir, m.Store().Len())
+		lg.printf("wsn-serve: result store at %s holds %d fronts", *resultsDir, m.Store().Len())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -100,15 +122,17 @@ func main() {
 		fail(err)
 	}
 	// The resolved address line is load-bearing: with -addr :0 it is how
-	// callers (the CI smoke test, scripts) learn the actual port.
-	fmt.Printf("wsn-serve: listening on http://%s\n", ln.Addr())
+	// callers (the CI smoke test, scripts) learn the actual port. In text
+	// mode it keeps its exact historical shape; in json mode the same
+	// message rides the msg field.
+	lg.printf("wsn-serve: listening on http://%s", ln.Addr())
 
 	// Real timeouts: a client that stalls mid-headers or never reads its
 	// response must not pin a connection forever. The events handler clears
 	// its own write deadline, so long-lived SSE streams survive
 	// WriteTimeout; everything else is a bounded request/response.
 	srv := &http.Server{
-		Handler:           service.NewHandler(m),
+		Handler:           accessLog(lg, m, service.NewHandler(m)),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -130,17 +154,17 @@ func main() {
 		// their durable checkpoints land, then close the HTTP server once
 		// every job has settled — a restarted server picks the work back up
 		// via resume_job with a bit-identical continuation.
-		fmt.Printf("wsn-serve: draining (timeout %s)\n", *drainTimeout)
+		lg.printf("wsn-serve: draining (timeout %s)", *drainTimeout)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := m.Drain(shutdownCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "wsn-serve: drain:", err)
+			lg.printf("wsn-serve: drain: %v", err)
 		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "wsn-serve: shutdown:", err)
+			lg.printf("wsn-serve: shutdown: %v", err)
 		}
 		m.Close()
-		fmt.Println("wsn-serve: drained, bye")
+		lg.printf("wsn-serve: drained, bye")
 	}
 }
 

@@ -178,7 +178,7 @@ func MOSAOpts(space *Space, eval Evaluator, cfg MOSAConfig, opts Options) (*Resu
 		})
 		evaluated, infeasible := pe.Stats()
 		err := opts.boundary("mosa", seg+1, segments, baseEval+evaluated, baseInf+infeasible,
-			func() []Point { return frontCopy(merged()) },
+			pe, func() []Point { return merged().Points() },
 			func() *Snapshot { return snapChains(seg+1, chains, baseEval+evaluated, baseInf+infeasible) })
 		if err != nil {
 			return result(), err

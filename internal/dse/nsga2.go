@@ -137,7 +137,7 @@ func NSGA2Opts(space *Space, eval Evaluator, cfg NSGA2Config, opts Options) (*Re
 		r.generation(rng, &arch)
 		evaluated, infeasible := pe.Stats()
 		err := opts.boundary("nsga2", gen+1, cfg.Generations, baseEval+evaluated, baseInf+infeasible,
-			func() []Point { return frontCopy(&arch) },
+			pe, func() []Point { return arch.Points() },
 			func() *Snapshot { return r.snapshot(gen+1, src, &arch, baseEval+evaluated, baseInf+infeasible) })
 		if err != nil {
 			return result(), err

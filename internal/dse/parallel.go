@@ -73,6 +73,7 @@ type ParallelEvaluator struct {
 	shards     [memoShards]memoShard
 	evaluated  atomic.Int64
 	infeasible atomic.Int64
+	hits       atomic.Int64
 }
 
 // NewParallelEvaluator wraps inner with a batch runtime running at most
@@ -128,6 +129,7 @@ func (pe *ParallelEvaluator) evalOn(inner Evaluator, c Config) Point {
 	for e := head; e != nil; e = e.next {
 		if e.cfg.Equal(c) {
 			sh.mu.Unlock()
+			pe.hits.Add(1)
 			<-e.done
 			return e.p
 		}
@@ -266,4 +268,17 @@ func (pe *ParallelEvaluator) EvaluateBatchInto(configs []Config, out []Point) []
 // they depend only on the set of configurations submitted.
 func (pe *ParallelEvaluator) Stats() (evaluated, infeasible int) {
 	return int(pe.evaluated.Load()), int(pe.infeasible.Load())
+}
+
+// CacheStats returns memo-cache traffic: lookups is every evaluation
+// request routed through the cache (hits + distinct evaluations), hits
+// the requests answered without running the evaluator. The hit rate
+// hits/lookups is the telemetry signal for how much of the search is
+// revisiting known configurations. Unlike Stats, hits is mildly
+// scheduling-dependent: a configuration raced by two goroutines counts
+// one evaluation and one hit regardless of which wins, but repeated
+// draws of cached points depend only on the search trajectory.
+func (pe *ParallelEvaluator) CacheStats() (lookups, hits int64) {
+	h := pe.hits.Load()
+	return h + pe.evaluated.Load(), h
 }

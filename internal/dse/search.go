@@ -91,7 +91,7 @@ func ExhaustiveOpts(space *Space, eval Evaluator, maxPoints, workers int, opts O
 			evaluated, infeasible := pe.Stats()
 			consumed := idx
 			stopErr = opts.boundary("exhaustive", step, totalBatches, baseEval+evaluated, baseInf+infeasible,
-				func() []Point { return frontCopy(&arch) },
+				pe, func() []Point { return arch.Points() },
 				func() *Snapshot {
 					return &Snapshot{
 						Version: SnapshotVersion, Algorithm: "exhaustive", Step: step, Next: consumed,
@@ -181,7 +181,7 @@ func RandomSearchOpts(space *Space, eval Evaluator, budget int, seed int64, work
 		evaluated, infeasible := pe.Stats()
 		consumed := drawn
 		err := opts.boundary("random", step, totalBatches, baseEval+evaluated, baseInf+infeasible,
-			func() []Point { return frontCopy(&arch) },
+			pe, func() []Point { return arch.Points() },
 			func() *Snapshot {
 				return &Snapshot{
 					Version: SnapshotVersion, Algorithm: "random", Step: step, RNG: src.state, Next: consumed,

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// BenchmarkObsSampling is the cost of one steady-state telemetry sample
+// (schema already written) at the service's field counts — the price a
+// search boundary pays when its sample is due. Allocations must be zero;
+// the alloc gate TestObsWriterZeroAllocs pins that independently.
+func BenchmarkObsSampling(b *testing.B) {
+	for _, nfields := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("fields%d", nfields), func(b *testing.B) {
+			fields := make([]string, nfields)
+			vals := make([]int64, nfields)
+			for i := range fields {
+				fields[i] = fmt.Sprintf("metric_%02d", i)
+			}
+			w := NewWriter(io.Discard)
+			if err := w.WriteSample(fields, vals); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for i := range vals {
+					vals[i] += int64(i & 3)
+				}
+				if err := w.WriteSample(fields, vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(w.Bytes())/float64(w.Samples()), "bytes/sample")
+			}
+		})
+	}
+}
+
+// BenchmarkObsDecode is the read side: decoding a stream of typical
+// service samples, the work wsn-stats and /v1/jobs/{id}/stats do.
+func BenchmarkObsDecode(b *testing.B) {
+	fields := make([]string, 16)
+	vals := make([]int64, 16)
+	for i := range fields {
+		fields[i] = fmt.Sprintf("metric_%02d", i)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for s := 0; s < 1024; s++ {
+		for i := range vals {
+			vals[i] += int64(i)
+		}
+		if err := w.WriteSample(fields, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		samples, truncated, err := ReadAll(bytes.NewReader(data))
+		if err != nil || truncated || len(samples) != 1024 {
+			b.Fatalf("decode: %d samples, truncated=%v, err=%v", len(samples), truncated, err)
+		}
+	}
+}

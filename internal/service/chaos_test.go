@@ -681,7 +681,7 @@ func newLocalListenerAt(t *testing.T, addr string) net.Listener {
 // TestHubSubscribeFrom pins the server half of Last-Event-ID resume:
 // replay is filtered to events after the given sequence number.
 func TestHubSubscribeFrom(t *testing.T) {
-	h := newHub()
+	h := newHub(nil)
 	for i := 0; i < 3; i++ {
 		h.publish(Event{Type: "status", Status: StatusQueued})
 	}

@@ -305,6 +305,18 @@ func (c *Client) Front(ctx context.Context, id string) (FrontResponse, error) {
 	return front, err
 }
 
+// JobStats fetches the job's recent telemetry window (n <= 0: the whole
+// retained window).
+func (c *Client) JobStats(ctx context.Context, id string, n int) (StatsResponse, error) {
+	path := "/v1/jobs/" + url.PathEscape(id) + "/stats"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var resp StatsResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
 // Checkpoint fetches the job's latest snapshot — the artifact a new job's
 // Spec.Resume takes.
 func (c *Client) Checkpoint(ctx context.Context, id string) (*dse.Snapshot, error) {

@@ -3,6 +3,7 @@ package service
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"wsndse/internal/service/island"
 )
@@ -42,10 +43,13 @@ type hub struct {
 	lastIsland   *Event
 	subs         map[chan Event]struct{}
 	closed       bool
+	// subGauge, when non-nil, tracks live subscriber count across every
+	// hub sharing it — the wsndse_sse_subscribers metric.
+	subGauge *atomic.Int64
 }
 
-func newHub() *hub {
-	return &hub{subs: make(map[chan Event]struct{})}
+func newHub(subGauge *atomic.Int64) *hub {
+	return &hub{subs: make(map[chan Event]struct{}), subGauge: subGauge}
 }
 
 // publish assigns the next sequence number and fans the event out to every
@@ -95,6 +99,9 @@ func (h *hub) close() {
 		return
 	}
 	h.closed = true
+	if h.subGauge != nil {
+		h.subGauge.Add(-int64(len(h.subs)))
+	}
 	for ch := range h.subs {
 		close(ch)
 	}
@@ -131,12 +138,18 @@ func (h *hub) subscribeFrom(afterSeq int) (replay []Event, ch <-chan Event, canc
 		return replay, c, func() {}
 	}
 	h.subs[c] = struct{}{}
+	if h.subGauge != nil {
+		h.subGauge.Add(1)
+	}
 	cancel = func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		if _, ok := h.subs[c]; ok {
 			delete(h.subs, c)
 			close(c)
+			if h.subGauge != nil {
+				h.subGauge.Add(-1)
+			}
 		}
 	}
 	return replay, c, cancel

@@ -123,11 +123,13 @@ type ScenarioInfo struct {
 //	GET    /v1/jobs/{id}/front       Pareto front              → 200 FrontResponse (409 until available)
 //	GET    /v1/jobs/{id}/checkpoint  latest dse.Snapshot       → 200 (404 if none)
 //	GET    /v1/jobs/{id}/events      live progress stream      → 200 text/event-stream (SSE)
+//	GET    /v1/jobs/{id}/stats       recent telemetry window   → 200 StatsResponse       (?n=)
 //	GET    /v1/scenarios             registered workloads      → 200 Page[ScenarioInfo] (?limit=&offset=)
 //	GET    /v1/results               result store query        → 200 Page[StoredResult]
 //	                                 (?key=&fingerprint=&scenario=&family=&algorithm=&limit=&offset=)
 //	GET    /v1/results/{version}     one stored result         → 200 StoredResult ({version} is "17" or "v17")
 //	GET    /healthz                  liveness                  → 200
+//	GET    /metrics                  Prometheus text metrics   → 200 text/plain
 //
 // List endpoints return the Page envelope {"items", "total", "limit",
 // "offset"}; results come back newest-first. Errors are
@@ -222,6 +224,24 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		serveEvents(m, w, r)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+		n := 0 // whole retained window
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 1 {
+				writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+					fmt.Errorf("service: n %q is not a positive integer", raw))
+				return
+			}
+			n = v
+		}
+		resp, err := m.JobStats(r.PathValue("id"), n)
+		if err != nil {
+			writeError(w, http.StatusNotFound, CodeNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
 		limit, offset, err := parsePageParams(r)
 		if err != nil {
@@ -268,6 +288,10 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteMetrics(w)
 	})
 	return mux
 }

@@ -132,6 +132,14 @@ type Config struct {
 	// Runner executes island rounds: the in-process GoRunner by default,
 	// or a ProcRunner supervising child worker processes.
 	Runner Runner
+
+	// Stats receives every island's per-boundary search telemetry
+	// (tagged with the island index) when rounds run on the default
+	// in-process runner or the inline fallback. It is called from
+	// executor goroutines concurrently. A custom Runner that wants stats
+	// must wire its own sink (GoRunner.Stats); ProcRunner rounds carry
+	// none — see GoRunner's doc for why. May be nil.
+	Stats func(island int, s dse.Stats)
 }
 
 // errStalled is the cancellation cause of an island attempt that stopped
@@ -186,7 +194,7 @@ func New(cfg Config, job Job, space *dse.Space, eval dse.Evaluator) (*Coordinato
 		space:        space,
 		eval:         eval,
 		runner:       cfg.Runner,
-		fallback:     &GoRunner{Space: space, Eval: eval},
+		fallback:     &GoRunner{Space: space, Eval: eval, Stats: cfg.Stats},
 		status:       make([]Status, cfg.Islands),
 		execRestarts: make([]int, cfg.Executors),
 		execLost:     make([]bool, cfg.Executors),

@@ -91,9 +91,18 @@ type Runner interface {
 // evaluator. The evaluator must be safe for concurrent use when the
 // coordinator runs islands on more than one executor (the compiled
 // scenario evaluator is; see scenario.Compiled.Evaluator).
+//
+// Stats, when non-nil, receives every island's per-boundary dse.Stats
+// tagged with the island index — the hook the service's telemetry
+// sampler attaches to. It is called from executor goroutines
+// concurrently, so the sink must be safe for concurrent use. ProcRunner
+// intentionally does not forward stats: a worker process's value is
+// crash containment, and widening its line protocol with per-boundary
+// telemetry would couple the watchdog path to the sampler.
 type GoRunner struct {
 	Space *dse.Space
 	Eval  dse.Evaluator
+	Stats func(island int, s dse.Stats)
 }
 
 // RunRound implements Runner.
@@ -108,6 +117,9 @@ func (g *GoRunner) RunRound(ctx context.Context, req Request, beat Heartbeat) (*
 			}
 		},
 		Resume: req.Resume,
+	}
+	if g.Stats != nil {
+		opts.Stats = func(s dse.Stats) { g.Stats(req.Island, s) }
 	}
 	var snap *dse.Snapshot
 	opts.Checkpoint = func(s *dse.Snapshot) error { snap = s; return nil }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -55,6 +56,16 @@ type Config struct {
 	// an island attempt passing no search boundary for this long is
 	// cancelled and retried. 0 disables the watchdog.
 	IslandStallTimeout time.Duration
+	// ObsDir, when set, persists each job's telemetry stream to
+	// <dir>/<jobID>.obs in the append-only obs format (decode with
+	// wsn-stats or internal/obs). Every job additionally keeps an
+	// in-memory recent window serving GET /v1/jobs/{id}/stats, obs dir
+	// or not.
+	ObsDir string
+	// ObsSampleInterval is the minimum spacing between recorded
+	// telemetry samples per job (zero selects DefaultObsSampleInterval).
+	// The final search boundary is always sampled.
+	ObsSampleInterval time.Duration
 	// Logf receives the manager's degradation log lines — checkpoint and
 	// result-store write failures, retry announcements. Nil selects
 	// log.Printf. These are exactly the failures the manager survives
@@ -114,7 +125,13 @@ type job struct {
 	// (island jobs only): the resume anchor a retried attempt restarts
 	// from, mirroring what snapshot does for single-search jobs.
 	islandSnap *dse.IslandSnapshot
-	done       chan struct{}
+	// sampler collects the job's telemetry (ring + optional obs file);
+	// created by runJob, nil while the job is still queued. met is the
+	// manager's registry, threaded in so setStatus can move the
+	// lifecycle gauges without a back-pointer to the Manager.
+	sampler *jobSampler
+	met     *metrics
+	done    chan struct{}
 }
 
 // setStatus transitions the lifecycle under the job lock and publishes
@@ -125,6 +142,7 @@ func (j *job) setStatus(s Status, errMsg string) bool {
 		j.mu.Unlock()
 		return false
 	}
+	prior := j.info.Status
 	j.info.Status = s
 	j.info.Error = errMsg
 	now := time.Now()
@@ -137,6 +155,25 @@ func (j *job) setStatus(s Status, errMsg string) bool {
 	}
 	attempt := j.info.Attempts
 	j.mu.Unlock()
+	// Lifecycle gauges move on the transition edges; the terminal
+	// counters fire exactly once per job because terminal states are
+	// absorbing (the guard above).
+	if j.met != nil {
+		if prior == StatusQueued {
+			j.met.jobsQueued.Add(-1)
+		}
+		if prior == StatusRunning {
+			j.met.jobsRunning.Add(-1)
+		}
+		switch {
+		case s == StatusRunning:
+			j.met.jobsRunning.Add(1)
+		case s == StatusQueued:
+			j.met.jobsQueued.Add(1)
+		case s.Terminal():
+			j.met.completed(s)
+		}
+	}
 	j.hub.publish(Event{Type: "status", Status: s, Error: errMsg, Attempt: attempt})
 	if s.Terminal() {
 		j.hub.close()
@@ -151,6 +188,7 @@ func (j *job) setStatus(s Status, errMsg string) bool {
 type Manager struct {
 	cfg   Config
 	store *Store
+	met   *metrics
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -176,10 +214,18 @@ func New(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The obs directory is created once here, not per job: a sampler's
+	// lazy file open must be the only per-job filesystem cost.
+	if cfg.ObsDir != "" {
+		if err := os.MkdirAll(cfg.ObsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: obs dir: %w", err)
+		}
+	}
 	root, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:   cfg,
 		store: store,
+		met:   newMetrics(),
 		jobs:  make(map[string]*job),
 		queue: make(chan *job, cfg.QueueLimit),
 		root:  root,
@@ -201,12 +247,15 @@ func New(cfg Config) (*Manager, error) {
 func (m *Manager) Store() *Store { return m.store }
 
 // Close cancels every job, stops accepting submissions, and waits for the
-// workers to drain. Queued jobs are marked cancelled.
+// workers to drain. Queued jobs are marked cancelled. Obs writer
+// goroutines are drained too, so every job's telemetry file is complete
+// on disk when Close returns.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		m.wg.Wait()
+		m.drainSamplers()
 		return
 	}
 	m.closed = true
@@ -214,6 +263,7 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.stop()
 	m.wg.Wait()
+	m.drainSamplers()
 	// Anything still non-terminal (queued jobs the workers never reached)
 	// is cancelled for the record.
 	m.mu.Lock()
@@ -226,6 +276,26 @@ func (m *Manager) Close() {
 		j.setStatus(StatusCancelled, "manager closed")
 	}
 	m.store.Close()
+}
+
+// drainSamplers waits for every job's obs writer goroutine to finish
+// flushing. Workers must be drained first: runJob's deferred
+// sampler.close is what lets a writer exit.
+func (m *Manager) drainSamplers() {
+	m.mu.Lock()
+	samplers := make([]*jobSampler, 0, len(m.order))
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		if j.sampler != nil {
+			samplers = append(samplers, j.sampler)
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	for _, s := range samplers {
+		s.drain()
+	}
 }
 
 // Drain begins a graceful shutdown: new submissions are rejected with
@@ -306,7 +376,8 @@ func (m *Manager) Submit(spec Spec) (JobInfo, error) {
 		spec:   spec,
 		ctx:    ctx,
 		cancel: cancel,
-		hub:    newHub(),
+		hub:    newHub(&m.met.sseSubscribers),
+		met:    m.met,
 		done:   make(chan struct{}),
 	}
 	j.info = JobInfo{
@@ -336,6 +407,8 @@ func (m *Manager) Submit(spec Spec) (JobInfo, error) {
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.mu.Unlock()
+	m.met.jobsSubmitted.Add(1)
+	m.met.jobsQueued.Add(1)
 	return j.snapshotInfo(), nil
 }
 
@@ -509,6 +582,16 @@ func (m *Manager) runJob(j *job) {
 		return
 	}
 
+	// The telemetry sampler spans every attempt: the ring and obs file
+	// carry one continuous series with the attempt column distinguishing
+	// retries.
+	sampler := newJobSampler(m.met, id, j.spec.Scenario, j.spec.Islands >= 2,
+		m.cfg.ObsDir, m.cfg.ObsSampleInterval, m.cfg.Logf)
+	j.mu.Lock()
+	j.sampler = sampler
+	j.mu.Unlock()
+	defer sampler.close()
+
 	// The deadline clock starts when the job first runs (queue wait is
 	// the scheduler's fault, not the job's) and spans every retry.
 	j.runCtx = j.ctx
@@ -524,6 +607,7 @@ func (m *Manager) runJob(j *job) {
 		j.info.Attempts = attempt
 		j.info.NextRetryAt = nil
 		j.mu.Unlock()
+		sampler.setAttempt(attempt)
 		if !j.setStatus(StatusRunning, "") {
 			return // cancelled during the retry wait, status already set
 		}
@@ -564,6 +648,7 @@ func (m *Manager) runJob(j *job) {
 		if !j.setStatus(StatusQueued, errMessage(err)) {
 			return
 		}
+		m.met.retries.Add(1)
 		m.cfg.Logf("service: job %s attempt %d/%d failed, retrying in %s: %v",
 			id, attempt, j.spec.MaxRetries+1, delay.Round(time.Millisecond), err)
 		select {
@@ -700,6 +785,12 @@ func (m *Manager) execute(j *job) (*dse.Result, error) {
 		CheckpointEvery: spec.CheckpointEvery,
 		Resume:          resume,
 	}
+	j.mu.Lock()
+	sampler := j.sampler
+	j.mu.Unlock()
+	if sampler != nil {
+		opts.Stats = sampler.observeSearch
+	}
 	// Warm-start resolution happens here — on the worker, not at Submit —
 	// so the seeds reflect the store's contents when the job actually
 	// starts (a queued job can inherit fronts finished ahead of it). It
@@ -792,6 +883,12 @@ func (m *Manager) executeIslands(j *job, space *dse.Space, eval dse.Evaluator) (
 		CheckpointDir: m.cfg.CheckpointDir,
 		Logf:          m.cfg.Logf,
 	}
+	j.mu.Lock()
+	sampler := j.sampler
+	j.mu.Unlock()
+	if sampler != nil {
+		cfg.Stats = sampler.observeIsland
+	}
 	if m.cfg.IslandExec != "" {
 		cfg.Runner = &island.ProcRunner{Bin: m.cfg.IslandExec}
 	}
@@ -829,6 +926,19 @@ func (m *Manager) executeIslands(j *job, space *dse.Space, eval dse.Evaluator) (
 	var coord *island.Coordinator
 	cfg.OnEvent = func(e island.Event) {
 		sts := coord.Status()
+		switch e.Kind {
+		case island.EventRound:
+			m.met.islandRounds.Add(1)
+		case island.EventRestart:
+			m.met.islandRestarts.Add(1)
+		}
+		if sampler != nil {
+			restarts := 0
+			for _, st := range sts {
+				restarts += st.Restarts
+			}
+			sampler.setIsland(e.Round, restarts)
+		}
 		j.mu.Lock()
 		j.info.Islands = sts
 		j.mu.Unlock()

@@ -96,6 +96,33 @@
 // just relative to a richer input. JobInfo.WarmStart reports what was
 // actually used.
 //
+// # Observability
+//
+// Every job carries a telemetry sampler fed by dse.Options.Stats at the
+// same search boundaries that serve progress, checkpoints and
+// cancellation. The sampling contract: boundaries are free-running and
+// can fire thousands of times per second, so the sampler records at
+// most one sample per Config.ObsSampleInterval (default 250ms) — plus
+// the final boundary, always, so even a sub-interval job leaves one
+// complete sample — and the turned-away common case costs one mutex and
+// a clock read, zero allocations (pinned by TestSamplerBoundaryZeroAlloc).
+// Each sample captures search health (step, evaluations, rate, front
+// size, hypervolume against a running-nadir reference, memo-cache
+// hits/lookups, attempt, island round/restarts) plus process runtime
+// stats, as int64 columns.
+//
+// Samples land in a per-job in-memory ring (the recent window behind
+// Manager.JobStats and GET /v1/jobs/{id}/stats) and, when Config.ObsDir
+// is set, in an append-only binary stream <obs-dir>/<jobID>.obs in the
+// internal/obs format, decodable live or post-mortem with cmd/wsn-stats.
+// File I/O runs on a per-job writer goroutine behind a bounded queue —
+// an obs file that cannot be opened, written, or kept up with degrades
+// that job to ring-only telemetry with one log line, never failing or
+// slowing the search. Manager.WriteMetrics aggregates process-wide
+// counters (job lifecycle, queue depth, per-scenario evaluations, store
+// size/evictions, SSE subscribers, island rounds/restarts, obs volume)
+// in Prometheus text form, served at GET /metrics by wsn-serve.
+//
 // # HTTP surface
 //
 // NewHandler exposes the Manager as a JSON-over-HTTP API (see http.go for

@@ -457,7 +457,7 @@ func TestStoreVersioning(t *testing.T) {
 }
 
 func TestHubReplayAndDropOldest(t *testing.T) {
-	h := newHub()
+	h := newHub(nil)
 	h.publish(Event{Type: "status", Status: StatusQueued})
 	for i := 0; i < 5; i++ {
 		h.publish(Event{Type: "progress", Progress: &ProgressInfo{Step: i + 1}})

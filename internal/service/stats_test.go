@@ -1,0 +1,278 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wsndse/internal/dse"
+	"wsndse/internal/obs"
+)
+
+// fieldIndex locates a column in a stats field list.
+func fieldIndex(t *testing.T, fields []string, name string) int {
+	t.Helper()
+	for i, f := range fields {
+		if f == name {
+			return i
+		}
+	}
+	t.Fatalf("field %q missing from %v", name, fields)
+	return -1
+}
+
+// TestJobTelemetryEndToEnd runs a job with an obs directory and a
+// sample-every-boundary interval, then checks the live window and the
+// on-disk stream agree and carry monotone search-health counters.
+func TestJobTelemetryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Workers: 1, ObsDir: dir, ObsSampleInterval: time.Nanosecond})
+	defer m.Close()
+
+	info, err := m.Submit(smallNSGA2("ecg-ward", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, info.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", final.Status, final.Error)
+	}
+
+	resp, err := m.JobStats(info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) == 0 {
+		t.Fatal("no telemetry rows after a finished job")
+	}
+	if resp.Samples != int64(len(resp.Rows)) {
+		t.Fatalf("lifetime samples %d, window %d (ring should not have wrapped)", resp.Samples, len(resp.Rows))
+	}
+	step := fieldIndex(t, resp.Fields, "step")
+	total := fieldIndex(t, resp.Fields, "total_steps")
+	evald := fieldIndex(t, resp.Fields, "evaluated")
+	lookups := fieldIndex(t, resp.Fields, "cache_lookups")
+	hits := fieldIndex(t, resp.Fields, "cache_hits")
+	hv := fieldIndex(t, resp.Fields, "hypervolume_x1e6")
+	for i, row := range resp.Rows {
+		if len(row) != len(resp.Fields) {
+			t.Fatalf("row %d: %d values, %d fields", i, len(row), len(resp.Fields))
+		}
+		if i == 0 {
+			continue
+		}
+		prev := resp.Rows[i-1]
+		if row[step] <= prev[step] || row[evald] < prev[evald] || row[lookups] < prev[lookups] || row[hits] < prev[hits] {
+			t.Fatalf("row %d not monotone after %v: %v", i, prev, row)
+		}
+	}
+	last := resp.Rows[len(resp.Rows)-1]
+	if last[step] != last[total] {
+		t.Fatalf("final sample at step %d of %d", last[step], last[total])
+	}
+	if last[evald] == 0 || last[hv] <= 0 {
+		t.Fatalf("final sample evaluated=%d hv=%d", last[evald], last[hv])
+	}
+
+	// The obs file is the same series, torn-tail tolerant and decodable.
+	// Closing the manager first drains the background obs writer, so the
+	// file is complete on disk.
+	m.Close()
+	f, err := os.Open(filepath.Join(dir, info.ID+".obs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, truncated, err := obs.ReadAll(f)
+	if err != nil || truncated {
+		t.Fatalf("obs decode: err=%v truncated=%v", err, truncated)
+	}
+	if len(samples) != len(resp.Rows) {
+		t.Fatalf("obs file has %d samples, live window %d", len(samples), len(resp.Rows))
+	}
+	for i, s := range samples {
+		for j, v := range s.Values {
+			if v != resp.Rows[i][j] {
+				t.Fatalf("sample %d field %s: file %d, ring %d", i, s.Fields[j], v, resp.Rows[i][j])
+			}
+		}
+	}
+
+	// The window parameter trims from the front.
+	tail, err := m.JobStats(info.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Rows) != 2 || tail.Rows[1][step] != last[step] {
+		t.Fatalf("n=2 window: %d rows, last step %v", len(tail.Rows), tail.Rows)
+	}
+
+	if _, err := m.JobStats("nope", 0); err != ErrNotFound {
+		t.Fatalf("unknown job: %v", err)
+	}
+}
+
+// TestIslandTelemetry pins the island job schema (island/round/restarts
+// columns) and the island round counter.
+func TestIslandTelemetry(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, ObsSampleInterval: time.Nanosecond})
+	defer m.Close()
+	info, err := m.Submit(islandSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, info.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("island job ended %s: %s", final.Status, final.Error)
+	}
+	resp, err := m.JobStats(info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) == 0 {
+		t.Fatal("island job produced no telemetry")
+	}
+	isl := fieldIndex(t, resp.Fields, "island")
+	seen := map[int64]bool{}
+	for _, row := range resp.Rows {
+		seen[row[isl]] = true
+	}
+	if !seen[0] && !seen[1] {
+		t.Fatalf("no island identity in samples: %v", seen)
+	}
+	if got := m.met.islandRounds.Load(); got == 0 {
+		t.Fatal("island rounds counter never moved")
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after a job and checks the family
+// inventory and a few values the job must have moved.
+func TestMetricsEndpoint(t *testing.T) {
+	c, _ := newTestServer(t, Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	info, err := c.Submit(ctx, smallNSGA2("ecg-ward", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, info.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	families := []string{
+		"wsndse_jobs_submitted_total",
+		"wsndse_jobs_completed_total",
+		"wsndse_jobs_queued",
+		"wsndse_jobs_running",
+		"wsndse_queue_depth",
+		"wsndse_job_retries_total",
+		"wsndse_evals_total",
+		"wsndse_sse_subscribers",
+		"wsndse_store_results",
+		"wsndse_store_evictions_total",
+		"wsndse_island_rounds_total",
+		"wsndse_island_restarts_total",
+		"wsndse_obs_samples_total",
+		"wsndse_obs_bytes_total",
+		"wsndse_heap_alloc_bytes",
+		"wsndse_goroutines",
+		"wsndse_gc_pause_seconds_total",
+		"wsndse_uptime_seconds",
+	}
+	for _, fam := range families {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Errorf("family %s missing from /metrics", fam)
+		}
+	}
+	for _, line := range []string{
+		"wsndse_jobs_submitted_total 1",
+		`wsndse_jobs_completed_total{status="done"} 1`,
+		`wsndse_evals_total{scenario="ecg-ward"}`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("expected %q in /metrics output", line)
+		}
+	}
+
+	// The stats endpoint serves the live window over HTTP too.
+	stats, err := c.JobStats(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.JobID != info.ID || len(stats.Rows) == 0 {
+		t.Fatalf("HTTP stats: %+v", stats)
+	}
+	if _, err := c.JobStats(ctx, "nope", 0); err == nil {
+		t.Fatal("unknown job stats should 404")
+	}
+}
+
+// TestSamplerBoundaryZeroAlloc is the alloc-regression gate on the
+// sampler's hot path: a search boundary the rate limiter turns away —
+// the overwhelmingly common case, every generation of every job — must
+// not allocate. (A recorded sample may allocate modestly; the sample
+// interval bounds those to ~4/s per job.)
+func TestSamplerBoundaryZeroAlloc(t *testing.T) {
+	s := newJobSampler(newMetrics(), "gate", "ecg-ward", false, "", time.Hour, func(string, ...any) {})
+	front := []dse.Point{{Objs: dse.Objectives{1, 2}}, {Objs: dse.Objectives{2, 1}}}
+	st := dse.Stats{Step: 1, TotalSteps: 1 << 30, Front: front}
+	s.observeSearch(st) // warm the per-island watermark entry
+	allocs := testing.AllocsPerRun(500, func() {
+		st.Evaluated++
+		st.CacheLookups++
+		s.observeSearch(st)
+	})
+	if allocs != 0 {
+		t.Fatalf("rate-limited boundary allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestStatusGaugesSettle pins that the lifecycle gauges return to zero
+// once every job is terminal — the invariant that catches a missed
+// transition edge.
+func TestStatusGaugesSettle(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2})
+	defer m.Close()
+	ids := []string{}
+	for seed := int64(0); seed < 3; seed++ {
+		info, err := m.Submit(smallNSGA2("ecg-ward", seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	for _, id := range ids {
+		waitDone(t, m, id)
+	}
+	if q := m.met.jobsQueued.Load(); q != 0 {
+		t.Fatalf("jobs_queued gauge %d after all jobs finished", q)
+	}
+	if r := m.met.jobsRunning.Load(); r != 0 {
+		t.Fatalf("jobs_running gauge %d after all jobs finished", r)
+	}
+	if d := m.met.jobsDone.Load(); d != 3 {
+		t.Fatalf("jobs_done %d, want 3", d)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsndse/internal/service/faultinject"
@@ -147,13 +148,14 @@ type indexRecord struct {
 // Results are immutable once stored — superseded by newer versions,
 // never overwritten. All methods are safe for concurrent use.
 type Store struct {
-	mu      sync.RWMutex
-	cfg     StoreConfig
-	byVer   map[int]*storedEntry // O(1) version lookup
-	byKey   map[string][]int     // content key → versions, ascending
-	lru     *list.List           // front = most recently used
-	nextVer int
-	index   *os.File // nil for in-memory stores
+	mu        sync.RWMutex
+	cfg       StoreConfig
+	byVer     map[int]*storedEntry // O(1) version lookup
+	byKey     map[string][]int     // content key → versions, ascending
+	lru       *list.List           // front = most recently used
+	nextVer   int
+	index     *os.File     // nil for in-memory stores
+	evictions atomic.Int64 // lifetime LRU evictions, for /metrics
 }
 
 // NewStore opens a store. With cfg.Dir set it creates the directory,
@@ -312,6 +314,7 @@ func (s *Store) evictOldest() {
 	if back == nil {
 		return
 	}
+	s.evictions.Add(1)
 	v := back.Value.(int)
 	e := s.byVer[v]
 	s.lru.Remove(back)
@@ -411,6 +414,10 @@ func (s *Store) Latest(scenarioName, algorithm string) (StoredResult, bool) {
 	}
 	return page[0], true
 }
+
+// Evictions returns how many results the LRU bound has evicted over the
+// store's lifetime.
+func (s *Store) Evictions() int64 { return s.evictions.Load() }
 
 // Len returns how many results are currently retained.
 func (s *Store) Len() int {
